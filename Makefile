@@ -1,0 +1,33 @@
+# Convenience targets for the iGuard reproduction.
+
+.PHONY: build test bench eval eval-quick examples fmt vet
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Benchmarks regenerating every table and figure (single iteration each).
+bench:
+	go test -bench=. -benchmem -benchtime=1x .
+
+# Full-size evaluation (several minutes).
+eval:
+	go run ./cmd/iguard-eval -exp all
+
+# Down-scaled evaluation (~2 minutes).
+eval-quick:
+	go run ./cmd/iguard-eval -exp all -quick
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/ddos-mitigation
+	go run ./examples/adversarial-robustness
+	go run ./examples/iot-monitor
+
+fmt:
+	gofmt -w .
+
+vet:
+	go vet ./...

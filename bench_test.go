@@ -1,0 +1,342 @@
+// Benchmarks regenerating every table and figure of the iGuard paper's
+// evaluation (one benchmark per artefact), plus ablation benches for
+// the design choices DESIGN.md calls out and micro-benches for the
+// pipeline's hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches use the down-scaled QuickLabConfig and a small
+// attack subset so a full -bench=. pass stays in CI territory;
+// cmd/iguard-eval runs the full-size versions.
+package iguard
+
+import (
+	"fmt"
+	"testing"
+
+	"iguard/internal/experiments"
+	"iguard/internal/features"
+	"iguard/internal/switchsim"
+	"iguard/internal/traffic"
+)
+
+// benchAttacks is the representative subset used by the per-figure
+// benches (the five attacks of the paper's main body).
+var benchAttacks = []traffic.AttackName{
+	traffic.Mirai, traffic.OSScan, traffic.Aidra, traffic.Bashlite, traffic.UDPDDoS,
+}
+
+// newBenchLab returns a lab shared across iterations of one benchmark
+// (the lab caches per-attack artefacts, so iterations beyond the first
+// measure the experiment body, not model training).
+func newBenchLab() *experiments.Lab {
+	return experiments.NewLab(experiments.QuickLabConfig())
+}
+
+func BenchmarkFig2PathLengthOverlap(b *testing.B) {
+	lab := newBenchLab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.RunFig2(benchAttacks[:2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5CPUDetection(b *testing.B) {
+	lab := newBenchLab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.RunFig5(benchAttacks[:2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6SwitchDetection(b *testing.B) {
+	lab := newBenchLab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.RunFig6(benchAttacks[:1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Resources(b *testing.B) {
+	lab := newBenchLab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.RunTable1(benchAttacks[:1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Adversarial(b *testing.B) {
+	lab := newBenchLab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.RunTable2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Evasion(b *testing.B) {
+	lab := newBenchLab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.RunTable3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10Candidates(b *testing.B) {
+	lab := newBenchLab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.RunFig10(benchAttacks[:1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConsistency(b *testing.B) {
+	lab := newBenchLab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.RunConsistency(benchAttacks[:1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppB1Throughput(b *testing.B) {
+	lab := newBenchLab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.RunAppB1(benchAttacks[:1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppB2ControlPlane(b *testing.B) {
+	lab := newBenchLab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.RunAppB2(benchAttacks[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations: the design choices DESIGN.md calls out.
+// ---------------------------------------------------------------------
+
+// BenchmarkAblationTrainingAugmentation contrasts the node-augmentation
+// counts the k grid search explores (§4.1 footnote 10): the entropy
+// signal anchored on guide-labelled real samples (k=0) versus
+// augmentation-heavy split search (k=32). Reported metric is macro F1
+// on the Mirai test set, exposed via b.ReportMetric.
+func BenchmarkAblationTrainingAugmentation(b *testing.B) {
+	for _, k := range []int{0, 8, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			cfg := experiments.QuickLabConfig()
+			cfg.GridK = []int{k}
+			var f1 float64
+			for i := 0; i < b.N; i++ {
+				lab := experiments.NewLab(cfg)
+				ctx, err := lab.Context(traffic.Mirai)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hits, total := 0, 0
+				for j, x := range ctx.Data.TestX {
+					if ctx.Guard.Predict(x) == ctx.Data.TestY[j] {
+						hits++
+					}
+					total++
+				}
+				f1 = float64(hits) / float64(total)
+			}
+			b.ReportMetric(f1, "agreement")
+		})
+	}
+}
+
+// BenchmarkAblationGridN contrasts fixed packet-count thresholds with
+// the best-version grid search (§4.2.1 footnote 12).
+func BenchmarkAblationGridN(b *testing.B) {
+	for _, grid := range []struct {
+		name string
+		ns   []int
+	}{{"fixed-n8", []int{8}}, {"grid", []int{2, 8}}} {
+		b.Run(grid.name, func(b *testing.B) {
+			cfg := experiments.QuickLabConfig()
+			cfg.GridN = grid.ns
+			var f1 float64
+			for i := 0; i < b.N; i++ {
+				lab := experiments.NewLab(cfg)
+				res, err := lab.RunFig6([]traffic.AttackName{traffic.Mirai})
+				if err != nil {
+					b.Fatal(err)
+				}
+				f1 = res.Rows[0].IGuard.Summary.MacroF1
+			}
+			b.ReportMetric(f1, "macroF1")
+		})
+	}
+}
+
+// BenchmarkAblationRuleMerging measures the §3.2.3 adjacent-hypercube
+// merge: rule-set size with and without it.
+func BenchmarkAblationRuleMerging(b *testing.B) {
+	lab := newBenchLab()
+	var res *experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = lab.RunAblationMerging(traffic.Mirai)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Rows[0].Rules), "rules_merged")
+	b.ReportMetric(float64(res.Rows[1].Rules), "rules_raw")
+}
+
+// BenchmarkAblationGuidance contrasts guided splits, random splits with
+// distillation, and the conventional iForest (isolating §3.2.1 from
+// §3.2.2).
+func BenchmarkAblationGuidance(b *testing.B) {
+	lab := newBenchLab()
+	var res *experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = lab.RunAblationGuidance(traffic.Mirai)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		b.Logf("%s: macroF1=%.3f", row.Variant, row.MacroF1)
+	}
+	b.ReportMetric(res.Rows[0].MacroF1, "guided_f1")
+	b.ReportMetric(res.Rows[1].MacroF1, "random_f1")
+	b.ReportMetric(res.Rows[2].MacroF1, "iforest_f1")
+}
+
+// BenchmarkAblationBoundaryPeel contrasts the boundary peel on an
+// out-of-range flood.
+func BenchmarkAblationBoundaryPeel(b *testing.B) {
+	lab := newBenchLab()
+	var res *experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = lab.RunAblationBoundaryPeel(traffic.UDPDDoS)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Rows[0].MacroF1, "with_peel_f1")
+	b.ReportMetric(res.Rows[1].MacroF1, "no_peel_f1")
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks: the pipeline's hot paths.
+// ---------------------------------------------------------------------
+
+func BenchmarkSwitchProcessPacket(b *testing.B) {
+	lab := newBenchLab()
+	ctx, err := lab.Context(traffic.Mirai)
+	if err != nil {
+		b.Fatal(err)
+	}
+	det := switchDeployment(b, lab, ctx)
+	trace := ctx.Data.TestTrace
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		det.ProcessPacket(&trace.Packets[i%len(trace.Packets)])
+	}
+}
+
+func switchDeployment(b *testing.B, lab *experiments.Lab, ctx *experiments.AttackContext) *switchsim.Switch {
+	b.Helper()
+	return switchsim.New(switchsim.Config{
+		Slots:        4096,
+		PktThreshold: ctx.Data.Cfg.PktThreshold,
+		Timeout:      ctx.Data.Cfg.Timeout,
+		PLRules:      ctx.PLCompiled,
+		FLRules:      ctx.GuardCompiled,
+	})
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	lab := newBenchLab()
+	ctx, err := lab.Context(traffic.Mirai)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := ctx.Data.TestX[0]
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx.Guard.Predict(x)
+	}
+}
+
+func BenchmarkEnsemblePredict(b *testing.B) {
+	lab := newBenchLab()
+	ctx, err := lab.Context(traffic.Mirai)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := ctx.Data.TestX[0]
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx.Ensemble.Predict(x)
+	}
+}
+
+func BenchmarkCompiledRuleMatch(b *testing.B) {
+	lab := newBenchLab()
+	ctx, err := lab.Context(traffic.Mirai)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := make([]float64, features.FLDim)
+	for i := range raw {
+		raw[i] = ctx.Data.Prep.InverseEdge(i, ctx.Data.TestX[0][i])
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctx.GuardCompiled.Match(raw)
+	}
+}
+
+func BenchmarkFlowExtraction(b *testing.B) {
+	trace := traffic.GenerateBenign(1, 200)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		features.ExtractAll(trace.Packets, 8, 5e9)
+	}
+}
+
+func BenchmarkTrainPipeline(b *testing.B) {
+	trace := traffic.GenerateBenign(1, 150)
+	cfg := DefaultConfig()
+	cfg.AEEpochs = 5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(trace.Packets, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command iguard-eval regenerates the tables and figures of the iGuard
+// paper's evaluation on synthetic workloads. Each experiment prints the
+// same rows/series the paper reports.
+//
+// Usage:
+//
+//	iguard-eval -exp all                # every experiment
+//	iguard-eval -exp fig5,table1        # a subset
+//	iguard-eval -exp fig6 -attacks "Mirai,UDP DDoS"
+//	iguard-eval -quick                  # down-scaled configuration
+//
+// Experiments: fig2, fig5, fig6, table1, table2, table3, fig10,
+// consistency, appb1, appb2, ablation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"iguard/internal/experiments"
+	"iguard/internal/traffic"
+)
+
+func main() {
+	var (
+		expFlag    = flag.String("exp", "all", "comma-separated experiments to run (fig2,fig5,fig6,table1,table2,table3,fig10,consistency,appb1,appb2,ablation,all)")
+		attackFlag = flag.String("attacks", "", "comma-separated attack subset (default: all 15)")
+		quick      = flag.Bool("quick", false, "use the down-scaled configuration")
+		seed       = flag.Int64("seed", 1, "experiment seed")
+		format     = flag.String("format", "text", "output format: text or json")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultLabConfig()
+	if *quick {
+		cfg = experiments.QuickLabConfig()
+	}
+	cfg.Data.Seed = *seed
+	lab := experiments.NewLab(cfg)
+
+	attacks := traffic.AllAttacks()
+	if *attackFlag != "" {
+		attacks = nil
+		for _, name := range strings.Split(*attackFlag, ",") {
+			attacks = append(attacks, traffic.AttackName(strings.TrimSpace(name)))
+		}
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+
+	jsonOut := map[string]interface{}{}
+	run := func(name string, fn func() (fmt.Stringer, error)) {
+		if !all && !want[name] {
+			return
+		}
+		start := time.Now()
+		res, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *format == "json" {
+			jsonOut[name] = res
+			fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+			return
+		}
+		fmt.Println(res)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig2", func() (fmt.Stringer, error) { return lab.RunFig2(attacks) })
+	run("fig5", func() (fmt.Stringer, error) { return lab.RunFig5(attacks) })
+	run("fig6", func() (fmt.Stringer, error) { return lab.RunFig6(attacks) })
+	run("table1", func() (fmt.Stringer, error) { return lab.RunTable1(attacks) })
+	run("table2", func() (fmt.Stringer, error) { return lab.RunTable2() })
+	run("table3", func() (fmt.Stringer, error) { return lab.RunTable3() })
+	run("fig10", func() (fmt.Stringer, error) { return lab.RunFig10(attacks) })
+	run("consistency", func() (fmt.Stringer, error) { return lab.RunConsistency(attacks) })
+	run("appb1", func() (fmt.Stringer, error) { return lab.RunAppB1(attacks) })
+	run("appb2", func() (fmt.Stringer, error) { return lab.RunAppB2(attacks[0]) })
+	run("ablation", func() (fmt.Stringer, error) {
+		g, err := lab.RunAblationGuidance(attacks[0])
+		if err != nil {
+			return nil, err
+		}
+		m, err := lab.RunAblationMerging(attacks[0])
+		if err != nil {
+			return nil, err
+		}
+		p, err := lab.RunAblationBoundaryPeel(traffic.UDPDDoS)
+		if err != nil {
+			return nil, err
+		}
+		return multiResult{g, m, p}, nil
+	})
+
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// multiResult concatenates several experiment renders.
+type multiResult []fmt.Stringer
+
+func (m multiResult) String() string {
+	var sb strings.Builder
+	for _, r := range m {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

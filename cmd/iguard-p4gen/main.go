@@ -1,0 +1,80 @@
+// Command iguard-p4gen emits the deployable switch artefacts for a
+// trained iGuard model: the P4_16 data-plane program (Fig. 4 pipeline,
+// TNA structure), the whitelist rule entries, and the feature-quantiser
+// configuration a runtime agent installs at boot.
+//
+// Usage:
+//
+//	iguard-p4gen -model model.json -out ./deploy
+//	iguard-p4gen -train-synthetic 400 -out ./deploy -name iguard_pipe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"iguard"
+	"iguard/internal/p4gen"
+	"iguard/internal/traffic"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "detector model JSON written by iguard.(*Detector).Save")
+		trainSyn  = flag.Int("train-synthetic", 0, "train on this many synthetic benign flows instead of -model")
+		outDir    = flag.String("out", ".", "output directory for the artefacts")
+		name      = flag.String("name", "iguard", "P4 program name")
+		slots     = flag.Int("slots", 8192, "flow-state slots per hash table")
+		seed      = flag.Int64("seed", 1, "training seed when -train-synthetic is used")
+	)
+	flag.Parse()
+
+	var det *iguard.Detector
+	var err error
+	switch {
+	case *modelPath != "":
+		f, ferr := os.Open(*modelPath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		det, err = iguard.Load(f)
+		f.Close()
+	case *trainSyn > 0:
+		cfg := iguard.DefaultConfig()
+		cfg.Seed = *seed
+		det, err = iguard.Train(traffic.GenerateBenign(*seed, *trainSyn).Packets, cfg)
+	default:
+		err = fmt.Errorf("provide -model or -train-synthetic")
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	dep := p4gen.Deployment{
+		ProgramName:  *name,
+		FLRules:      det.CompiledRules(),
+		Slots:        *slots,
+		PktThreshold: iguard.DefaultConfig().FlowThreshold,
+		Timeout:      iguard.DefaultConfig().FlowTimeout,
+	}
+	open := func(fname string) (io.WriteCloser, error) {
+		path := filepath.Join(*outDir, fname)
+		fmt.Println("writing", path)
+		return os.Create(path)
+	}
+	if err := p4gen.Bundle(dep, open); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("emitted %d whitelist rules into %s\n", len(det.CompiledRules().Rules), *outDir)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iguard-p4gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module iguard
+
+go 1.22

@@ -1,0 +1,398 @@
+// Package iguard is the public API of this repository: a from-scratch
+// Go implementation of "iGuard: Efficient Isolation Forest Design for
+// Malicious Traffic Detection in Programmable Switches" (CoNEXT 2024).
+//
+// The pipeline mirrors Fig. 1 of the paper:
+//
+//  1. extract flow-level features from benign training traffic,
+//  2. train an ensemble of autoencoders on them,
+//  3. grow an isolation forest guided by that ensemble (§3.2.1),
+//  4. distil the ensemble's knowledge into the forest's leaves (§3.2.2),
+//  5. compile the labelled forest into whitelist rules (§3.2.3), and
+//  6. deploy the rules on a (simulated) programmable-switch data plane.
+//
+// The minimal use is three calls:
+//
+//	det, err := iguard.Train(benignPackets, iguard.DefaultConfig())
+//	verdict := det.ClassifyFlow(flowFeatures) // 0 benign, 1 malicious
+//	sw, ctrl := det.Deploy(iguard.DefaultDeployConfig())
+//
+// See the examples directory for complete programs.
+package iguard
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"iguard/internal/autoencoder"
+	"iguard/internal/controller"
+	"iguard/internal/core"
+	"iguard/internal/features"
+	"iguard/internal/mathx"
+	"iguard/internal/metrics"
+	"iguard/internal/netpkt"
+	"iguard/internal/rules"
+	"iguard/internal/switchsim"
+)
+
+// Packet is the parsed-packet type consumed by Train and the switch
+// simulator (alias of the internal packet model so library users and
+// the PCAP reader share one type).
+type Packet = netpkt.Packet
+
+// Config parameterises Train. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	// Seed drives all randomness (training is fully deterministic).
+	Seed int64
+
+	// FlowThreshold is n: flow features are computed over the first n
+	// packets of each flow (§3.3.1). FlowTimeout is δ, the idle timeout.
+	FlowThreshold int
+	FlowTimeout   time.Duration
+
+	// AEEpochs/AEBatch/AELearningRate train the autoencoder ensemble.
+	AEEpochs       int
+	AEBatch        int
+	AELearningRate float64
+	// CalibrationQuantile sets each member's RMSE threshold T_u at this
+	// quantile of its benign reconstruction errors.
+	CalibrationQuantile float64
+
+	// Forest holds the guided-forest options (t, Ψ, k, τ_split, ...).
+	Forest core.Options
+	// AugmentGrid lists the node-augmentation counts k to try; the
+	// forest whose predictions agree best with the autoencoder ensemble
+	// on a benign holdout plus synthetic probes wins (a benign-only
+	// stand-in for the paper's validation grid search). Empty disables
+	// the search and uses Forest.Augment directly.
+	AugmentGrid []int
+	// ThresholdGrid lists calibration quantiles for the ensemble RMSE
+	// thresholds T_u, searched jointly with AugmentGrid when labelled
+	// validation data is provided. Empty keeps CalibrationQuantile.
+	ThresholdGrid []float64
+
+	// ValidationX/ValidationY, when provided, are raw labelled flow
+	// vectors (0 benign, 1 malicious) used to select (k, T) by macro F1
+	// — the paper's §4.1 methodology, where validation sets carry 20%
+	// attack traffic. Without them the benign-only fidelity heuristic
+	// selects k at a fixed threshold.
+	ValidationX [][]float64
+	ValidationY []int
+
+	// QuantBits is the per-feature fixed-point width rules compile to.
+	QuantBits int
+	// MaxRuleCells caps hypercube enumeration during rule generation.
+	MaxRuleCells int
+}
+
+// DefaultConfig returns a configuration matching the evaluation's
+// operating point.
+func DefaultConfig() Config {
+	forest := core.DefaultOptions()
+	forest.Trees = 5
+	forest.SubSample = 192
+	forest.Augment = 0
+	forest.DistillAugment = 64
+	return Config{
+		Seed:                1,
+		FlowThreshold:       16,
+		FlowTimeout:         5 * time.Second,
+		AEEpochs:            40,
+		AEBatch:             32,
+		AELearningRate:      0.005,
+		CalibrationQuantile: 0.92,
+		Forest:              forest,
+		AugmentGrid:         []int{0, 4, 8},
+		ThresholdGrid:       []float64{0.88, 0.92, 0.97},
+		QuantBits:           20,
+		MaxRuleCells:        200000,
+	}
+}
+
+// ruleUniverse is the model-space feature box rules are generated over
+// (training features scale into [0, 1]).
+const (
+	ruleUniverseLo = -0.25
+	ruleUniverseHi = 1.75
+)
+
+// Detector is a trained iGuard pipeline.
+type Detector struct {
+	cfg      Config
+	prep     *features.Preprocess
+	plPrep   *features.Preprocess
+	ensemble *autoencoder.Ensemble
+	forest   *core.Forest
+	ruleSet  *rules.RuleSet
+	compiled *rules.CompiledRuleSet
+}
+
+// Train builds the full iGuard pipeline from benign training packets.
+// It returns an error when the trace yields no flows.
+func Train(benign []Packet, cfg Config) (*Detector, error) {
+	samples := features.ExtractAll(benign, cfg.FlowThreshold, cfg.FlowTimeout)
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("iguard: no flows extracted from %d packets", len(benign))
+	}
+	raw := make([][]float64, len(samples))
+	for i, s := range samples {
+		raw[i] = s.FL
+	}
+	return TrainOnFeatures(raw, cfg)
+}
+
+// TrainOnFeatures builds the pipeline directly from raw (unscaled)
+// 13-dimensional flow-feature vectors, for callers with their own
+// extraction.
+func TrainOnFeatures(raw [][]float64, cfg Config) (*Detector, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("iguard: empty training set")
+	}
+	if len(raw[0]) != features.FLDim {
+		return nil, fmt.Errorf("iguard: feature vectors have %d dims, want %d", len(raw[0]), features.FLDim)
+	}
+	d := &Detector{cfg: cfg}
+	d.prep = features.NewFLPreprocess()
+	trainX := d.prep.FitTransform(raw)
+
+	r := mathx.NewRand(cfg.Seed)
+	d.ensemble = autoencoder.NewEnsemble(
+		autoencoder.NewMagnifier(r, features.FLDim),
+		autoencoder.NewSymmetric(r, features.FLDim),
+	)
+	d.ensemble.Members[0].Weight = 0.6
+	d.ensemble.Members[1].Weight = 0.4
+	d.ensemble.Fit(trainX, autoencoder.TrainOptions{
+		Epochs: cfg.AEEpochs, BatchSize: cfg.AEBatch, LR: cfg.AELearningRate,
+		Rand: mathx.NewRand(cfg.Seed + 1),
+	})
+	forestOpts := cfg.Forest
+	forestOpts.Seed = cfg.Seed + 2
+	forestOpts.Bounds = rules.FullBox(features.FLDim, ruleUniverseLo, ruleUniverseHi)
+	kGrid := cfg.AugmentGrid
+	if len(kGrid) == 0 {
+		kGrid = []int{forestOpts.Augment}
+	}
+	if len(cfg.ValidationX) > 0 {
+		if err := d.selectByValidation(trainX, forestOpts, kGrid, cfg); err != nil {
+			return nil, err
+		}
+	} else {
+		d.ensemble.Calibrate(trainX, cfg.CalibrationQuantile)
+		if err := d.selectByFidelity(trainX, forestOpts, kGrid, cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	universe := rules.FullBox(features.FLDim, ruleUniverseLo, ruleUniverseHi)
+	leaves := make([][]rules.Box, len(d.forest.Trees))
+	labels := make([][]int, len(d.forest.Trees))
+	for ti := range d.forest.Trees {
+		leaves[ti], labels[ti] = d.forest.LabelledLeafRegionsWithin(ti, universe)
+	}
+	rs, err := rules.GenerateVoted(universe, leaves, labels, rules.GenOptions{MaxCells: cfg.MaxRuleCells})
+	if err != nil {
+		return nil, err
+	}
+	d.ruleSet = rs
+	d.compiled = compileRaw(rs, d.prep, cfg.QuantBits)
+	return d, nil
+}
+
+// selectByValidation grid-searches (k, T) by macro F1 on the labelled
+// validation set — the paper's §4.1 footnote-10 methodology.
+func (d *Detector) selectByValidation(trainX [][]float64, forestOpts core.Options, kGrid []int, cfg Config) error {
+	if len(cfg.ValidationX) != len(cfg.ValidationY) {
+		return fmt.Errorf("iguard: validation X/Y length mismatch")
+	}
+	valX := make([][]float64, len(cfg.ValidationX))
+	for i, raw := range cfg.ValidationX {
+		valX[i] = d.prep.Transform(raw)
+	}
+	tGrid := cfg.ThresholdGrid
+	if len(tGrid) == 0 {
+		tGrid = []float64{cfg.CalibrationQuantile}
+	}
+	bestF1 := -1.0
+	bestQ := tGrid[0]
+	for _, q := range tGrid {
+		d.ensemble.Calibrate(trainX, q)
+		for _, k := range kGrid {
+			opts := forestOpts
+			opts.Augment = k
+			candidate, err := core.Fit(trainX, d.ensemble, opts)
+			if err != nil {
+				return err
+			}
+			var conf metrics.Confusion
+			for i, x := range valX {
+				conf.Add(candidate.Predict(x), cfg.ValidationY[i])
+			}
+			if f1 := conf.MacroF1(); f1 > bestF1 {
+				bestF1 = f1
+				bestQ = q
+				d.forest = candidate
+			}
+		}
+	}
+	d.ensemble.Calibrate(trainX, bestQ)
+	return nil
+}
+
+// selectByFidelity picks k by agreement with the ensemble on benign
+// holdout plus synthetic probes (the benign-only fallback).
+func (d *Detector) selectByFidelity(trainX [][]float64, forestOpts core.Options, kGrid []int, cfg Config) error {
+	probes := guideProbes(trainX, cfg.Seed+3)
+	bestFidelity := -1.0
+	for _, k := range kGrid {
+		opts := forestOpts
+		opts.Augment = k
+		candidate, err := core.Fit(trainX, d.ensemble, opts)
+		if err != nil {
+			return err
+		}
+		agree := 0
+		for _, p := range probes {
+			if candidate.Predict(p) == d.ensemble.Predict(p) {
+				agree++
+			}
+		}
+		if f := float64(agree) / float64(len(probes)); f > bestFidelity {
+			bestFidelity = f
+			d.forest = candidate
+		}
+	}
+	return nil
+}
+
+// guideProbes builds the benign-only fidelity probe set for the k grid:
+// the training samples themselves plus uniform draws over the slightly
+// inflated data box (interior holes and near-boundary space where the
+// forest must mimic the ensemble).
+func guideProbes(trainX [][]float64, seed int64) [][]float64 {
+	r := mathx.NewRand(seed)
+	probes := make([][]float64, 0, 2*len(trainX))
+	probes = append(probes, trainX...)
+	dim := len(trainX[0])
+	for i := 0; i < len(trainX); i++ {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = -0.1 + 1.2*r.Float64()
+		}
+		probes = append(probes, p)
+	}
+	return probes
+}
+
+// compileRaw mirrors the experiment harness's raw-domain compilation.
+func compileRaw(rs *rules.RuleSet, prep *features.Preprocess, bits int) *rules.CompiledRuleSet {
+	dim := rs.Dim
+	rawMin := make([]float64, dim)
+	rawMax := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		span := prep.RawMax[i] - prep.RawMin[i]
+		if span <= 0 {
+			rawMin[i] = prep.RawMin[i] - 1
+			rawMax[i] = prep.RawMin[i] + 1
+			continue
+		}
+		rawMin[i] = prep.RawMin[i] - 0.25*span
+		rawMax[i] = prep.RawMax[i] + 2*span
+	}
+	raw := &rules.RuleSet{Dim: dim, DefaultLabel: rs.DefaultLabel}
+	for _, r := range rs.Rules {
+		box := make(rules.Box, dim)
+		for i, iv := range r.Box {
+			span := prep.RawMax[i] - prep.RawMin[i]
+			if span <= 0 {
+				box[i] = rules.Interval{Lo: rawMin[i], Hi: rawMax[i]}
+				continue
+			}
+			box[i] = rules.Interval{Lo: prep.InverseEdge(i, iv.Lo), Hi: prep.InverseEdge(i, iv.Hi)}
+		}
+		raw.Rules = append(raw.Rules, rules.Rule{Box: box, Label: r.Label})
+	}
+	return rules.Compile(raw, rules.NewQuantizer(rawMin, rawMax, bits))
+}
+
+// ClassifyFlow labels one raw (unscaled) 13-dimensional flow-feature
+// vector: 0 benign, 1 malicious. Trained detectors use the forest;
+// loaded (rule-based) detectors use the rule set, which agrees with the
+// forest up to the consistency metric C.
+func (d *Detector) ClassifyFlow(raw []float64) int {
+	x := d.prep.Transform(raw)
+	if d.forest == nil {
+		return d.ruleSet.Match(x)
+	}
+	return d.forest.Predict(x)
+}
+
+// Score returns the malicious vote fraction in [0, 1] for a raw flow
+// vector. Rule-based (loaded) detectors return 0/1.
+func (d *Detector) Score(raw []float64) float64 {
+	x := d.prep.Transform(raw)
+	if d.forest == nil {
+		return float64(d.ruleSet.Match(x))
+	}
+	return d.forest.Score(x)
+}
+
+// EnsembleScore returns the guiding autoencoder ensemble's continuous
+// anomaly score for a raw flow vector.
+func (d *Detector) EnsembleScore(raw []float64) float64 {
+	return d.ensemble.Score(d.prep.Transform(raw))
+}
+
+// Rules returns the float-domain labelled rule set (whitelist +
+// malicious cells).
+func (d *Detector) Rules() *rules.RuleSet { return d.ruleSet }
+
+// CompiledRules returns the quantised whitelist ready for switch
+// installation.
+func (d *Detector) CompiledRules() *rules.CompiledRuleSet { return d.compiled }
+
+// WriteRules serialises the rule set as JSON.
+func (d *Detector) WriteRules(w io.Writer) error { return d.ruleSet.WriteJSON(w) }
+
+// Consistency measures §3.2.3's rule-fidelity metric C over raw flow
+// vectors.
+func (d *Detector) Consistency(raw [][]float64) float64 {
+	model := d.prep.TransformAll(raw)
+	return rules.Consistency(d.ruleSet, d.forest.Predict, model)
+}
+
+// DeployConfig parameterises Deploy.
+type DeployConfig struct {
+	// Slots is the per-hash-table flow-state capacity.
+	Slots int
+	// BlacklistCapacity bounds the blacklist table; the controller
+	// evicts beyond it using the chosen policy.
+	BlacklistCapacity int
+	// Eviction selects FIFO or LRU blacklist eviction.
+	Eviction controller.EvictionPolicy
+	// DropMalicious selects drop versus forward-to-quarantine.
+	DropMalicious bool
+}
+
+// DefaultDeployConfig returns the evaluation's deployment parameters.
+func DefaultDeployConfig() DeployConfig {
+	return DeployConfig{Slots: 8192, BlacklistCapacity: 8192, Eviction: controller.LRU, DropMalicious: true}
+}
+
+// Deploy installs the detector's whitelist on a simulated switch wired
+// to a fresh controller, both ready to process packets.
+func (d *Detector) Deploy(cfg DeployConfig) (*switchsim.Switch, *controller.Controller) {
+	sw := switchsim.New(switchsim.Config{
+		Slots:             cfg.Slots,
+		PktThreshold:      d.cfg.FlowThreshold,
+		Timeout:           d.cfg.FlowTimeout,
+		FLRules:           d.compiled,
+		BlacklistCapacity: cfg.BlacklistCapacity,
+		DropMalicious:     cfg.DropMalicious,
+	})
+	ctrl := controller.New(sw, cfg.BlacklistCapacity, cfg.Eviction)
+	sw.SetSink(ctrl)
+	return sw, ctrl
+}

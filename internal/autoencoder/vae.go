@@ -1,0 +1,167 @@
+package autoencoder
+
+import (
+	"math"
+	"math/rand"
+
+	"iguard/internal/mathx"
+	"iguard/internal/nn"
+)
+
+// VAE is a variational autoencoder trained with the reparameterisation
+// trick: encoder → (μ, log σ²), z = μ + ε·σ, decoder → x̂, loss =
+// MSE(x̂, x) + β·KL(q(z|x) ‖ N(0, I)). The paper evaluates a VAE (with a
+// Magnifier-like body) as a guidance candidate in Appendix A.
+type VAE struct {
+	dim, latent int
+	beta        float64
+
+	encHidden *nn.Dense // dim → h
+	encOut    *nn.Dense // h → 2·latent (μ ‖ logvar)
+	decHidden *nn.Dense // latent → h
+	decOut    *nn.Dense // h → dim
+
+	cfg  nn.AdamConfig
+	step int
+}
+
+// NewVAE builds a VAE over dim features with the given latent size.
+func NewVAE(r *rand.Rand, dim, latent int) *VAE {
+	if latent <= 0 {
+		latent = maxInt(dim/4, 2)
+	}
+	h := maxInt(dim, 4)
+	return &VAE{
+		dim: dim, latent: latent, beta: 0.05,
+		encHidden: nn.NewDense(r, dim, h, nn.Tanh),
+		encOut:    nn.NewDense(r, h, 2*latent, nn.Identity),
+		decHidden: nn.NewDense(r, latent, h, nn.Tanh),
+		decOut:    nn.NewDense(r, h, dim, nn.Identity),
+		cfg:       nn.DefaultAdam(0.005),
+	}
+}
+
+// Name implements Model.
+func (v *VAE) Name() string { return "VAE" }
+
+// encode runs the encoder and splits its output into μ and log σ².
+func (v *VAE) encode(x *nn.Matrix) (mu, logvar *nn.Matrix) {
+	h := v.encHidden.Forward(x)
+	out := v.encOut.Forward(h)
+	mu = nn.NewMatrix(out.Rows, v.latent)
+	logvar = nn.NewMatrix(out.Rows, v.latent)
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		copy(mu.Row(i), row[:v.latent])
+		copy(logvar.Row(i), row[v.latent:])
+	}
+	return mu, logvar
+}
+
+// decode maps latent codes to reconstructions.
+func (v *VAE) decode(z *nn.Matrix) *nn.Matrix {
+	return v.decOut.Forward(v.decHidden.Forward(z))
+}
+
+// trainBatch runs one optimisation step and returns the batch loss.
+func (v *VAE) trainBatch(x *nn.Matrix, r *rand.Rand) float64 {
+	n := x.Rows
+	mu, logvar := v.encode(x)
+
+	// Reparameterise: z = μ + ε·exp(logvar/2).
+	eps := nn.NewMatrix(n, v.latent)
+	z := nn.NewMatrix(n, v.latent)
+	for i := range z.Data {
+		eps.Data[i] = r.NormFloat64()
+		z.Data[i] = mu.Data[i] + eps.Data[i]*math.Exp(0.5*logvar.Data[i])
+	}
+
+	xhat := v.decode(z)
+
+	// Reconstruction loss and gradient.
+	recLoss := 0.0
+	gradXhat := nn.NewMatrix(n, v.dim)
+	scale := 2.0 / float64(v.dim)
+	for i := range xhat.Data {
+		d := xhat.Data[i] - x.Data[i]
+		recLoss += d * d
+		gradXhat.Data[i] = scale * d
+	}
+	recLoss /= float64(len(xhat.Data))
+
+	// KL term and its gradients w.r.t. μ and logvar.
+	klLoss := 0.0
+	for i := range mu.Data {
+		klLoss += -0.5 * (1 + logvar.Data[i] - mu.Data[i]*mu.Data[i] - math.Exp(logvar.Data[i]))
+	}
+	klLoss /= float64(n)
+
+	// Backprop through decoder.
+	gDecHidden, gWDecOut, gBDecOut := v.decOut.Backward(gradXhat)
+	gradZ, gWDecHidden, gBDecHidden := v.decHidden.Backward(gDecHidden)
+
+	// Gradients into the encoder's (μ ‖ logvar) output.
+	gradEncOut := nn.NewMatrix(n, 2*v.latent)
+	betaPerN := v.beta / float64(n)
+	for i := 0; i < n; i++ {
+		gz := gradZ.Row(i)
+		gm := gradEncOut.Row(i)
+		for j := 0; j < v.latent; j++ {
+			sigma := math.Exp(0.5 * logvar.At(i, j))
+			// dL/dμ = dL/dz + β·μ/n
+			gm[j] = gz[j] + betaPerN*mu.At(i, j)
+			// dL/dlogvar = dL/dz·ε·σ/2 + β·(exp(logvar)−1)/(2n)
+			gm[v.latent+j] = gz[j]*eps.At(i, j)*sigma*0.5 +
+				betaPerN*0.5*(math.Exp(logvar.At(i, j))-1)
+		}
+	}
+
+	gEncHidden, gWEncOut, gBEncOut := v.encOut.Backward(gradEncOut)
+	_, gWEncHidden, gBEncHidden := v.encHidden.Backward(gEncHidden)
+
+	v.step++
+	v.decOut.Update(v.cfg, v.step, n, gWDecOut, gBDecOut)
+	v.decHidden.Update(v.cfg, v.step, n, gWDecHidden, gBDecHidden)
+	v.encOut.Update(v.cfg, v.step, n, gWEncOut, gBEncOut)
+	v.encHidden.Update(v.cfg, v.step, n, gWEncHidden, gBEncHidden)
+
+	return recLoss + v.beta*klLoss
+}
+
+// Fit implements Model.
+func (v *VAE) Fit(x [][]float64, opts TrainOptions) {
+	opts = opts.withDefaults()
+	v.cfg = nn.DefaultAdam(opts.LR)
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	for e := 0; e < opts.Epochs; e++ {
+		mathx.Shuffle(opts.Rand, idx)
+		for start := 0; start < len(idx); start += opts.BatchSize {
+			end := start + opts.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := make([][]float64, 0, end-start)
+			for _, i := range idx[start:end] {
+				batch = append(batch, x[i])
+			}
+			v.trainBatch(nn.FromRows(batch), opts.Rand)
+		}
+	}
+}
+
+// Reconstruct returns the deterministic reconstruction (z = μ) of x.
+func (v *VAE) Reconstruct(x []float64) []float64 {
+	mu, _ := v.encode(nn.FromRows([][]float64{x}))
+	out := v.decode(mu)
+	res := make([]float64, out.Cols)
+	copy(res, out.Row(0))
+	return res
+}
+
+// ReconstructionError implements Model using the mean-latent decode.
+func (v *VAE) ReconstructionError(x []float64) float64 {
+	return mathx.RMSE(v.Reconstruct(x), x)
+}

@@ -1,0 +1,437 @@
+// Package baseline implements the unsupervised anomaly detectors the
+// iGuard paper compares as guidance candidates in Appendix A (Fig. 10):
+// k-nearest-neighbours distance, PCA reconstruction error, and X-means
+// (k-means with BIC-driven model selection) distance. Together with
+// package iforest and package autoencoder these cover the full
+// candidate panel {kNN, PCA, iForest, X-means, VAE, Magnifier}.
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"iguard/internal/mathx"
+)
+
+// Scorer is an unsupervised anomaly detector: Fit on benign data, then
+// Score unseen samples (higher = more anomalous).
+type Scorer interface {
+	Name() string
+	Fit(x [][]float64)
+	Score(x []float64) float64
+}
+
+// KNN scores a sample by its mean distance to the K nearest training
+// points. MaxRef caps the retained reference set (sampled uniformly) to
+// bound query cost.
+type KNN struct {
+	K      int
+	MaxRef int
+	Seed   int64
+	ref    [][]float64
+}
+
+// NewKNN returns a kNN scorer with the given neighbourhood size.
+func NewKNN(k int) *KNN { return &KNN{K: k, MaxRef: 2048, Seed: 1} }
+
+// Name implements Scorer.
+func (m *KNN) Name() string { return "kNN" }
+
+// Fit retains (a sample of) the training set.
+func (m *KNN) Fit(x [][]float64) {
+	if m.K <= 0 {
+		m.K = 5
+	}
+	if m.MaxRef > 0 && len(x) > m.MaxRef {
+		r := mathx.NewRand(m.Seed)
+		idx := mathx.SampleWithoutReplacement(r, len(x), m.MaxRef)
+		m.ref = make([][]float64, len(idx))
+		for i, j := range idx {
+			m.ref[i] = x[j]
+		}
+		return
+	}
+	m.ref = x
+}
+
+// Score implements Scorer: the mean of the K smallest distances.
+func (m *KNN) Score(x []float64) float64 {
+	if len(m.ref) == 0 {
+		return 0
+	}
+	dists := make([]float64, len(m.ref))
+	for i, rpt := range m.ref {
+		dists[i] = mathx.EuclideanDistance(x, rpt)
+	}
+	sort.Float64s(dists)
+	k := m.K
+	if k > len(dists) {
+		k = len(dists)
+	}
+	return mathx.Mean(dists[:k])
+}
+
+// PCA scores a sample by its reconstruction error after projection onto
+// the top Components principal directions of the benign data.
+type PCA struct {
+	Components int
+	mean       []float64
+	comps      [][]float64 // each unit-norm, length dim
+}
+
+// NewPCA returns a PCA scorer keeping the given number of components.
+func NewPCA(components int) *PCA { return &PCA{Components: components} }
+
+// Name implements Scorer.
+func (m *PCA) Name() string { return "PCA" }
+
+// Fit computes the mean and the leading principal components by power
+// iteration with deflation on the covariance matrix.
+func (m *PCA) Fit(x [][]float64) {
+	if len(x) == 0 {
+		return
+	}
+	dim := len(x[0])
+	if m.Components <= 0 || m.Components > dim {
+		m.Components = maxInt(1, dim/2)
+	}
+	m.mean = make([]float64, dim)
+	for _, row := range x {
+		for j, v := range row {
+			m.mean[j] += v
+		}
+	}
+	for j := range m.mean {
+		m.mean[j] /= float64(len(x))
+	}
+	// Covariance matrix (dim is small — 13 features).
+	cov := make([][]float64, dim)
+	for i := range cov {
+		cov[i] = make([]float64, dim)
+	}
+	for _, row := range x {
+		for i := 0; i < dim; i++ {
+			di := row[i] - m.mean[i]
+			for j := i; j < dim; j++ {
+				cov[i][j] += di * (row[j] - m.mean[j])
+			}
+		}
+	}
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			cov[i][j] /= float64(len(x))
+			cov[j][i] = cov[i][j]
+		}
+	}
+	m.comps = nil
+	r := mathx.NewRand(2)
+	work := cov
+	for c := 0; c < m.Components; c++ {
+		v := powerIteration(work, r, 200)
+		if v == nil {
+			break
+		}
+		m.comps = append(m.comps, v)
+		// Deflate: work -= λ v vᵀ.
+		lambda := rayleigh(work, v)
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				work[i][j] -= lambda * v[i] * v[j]
+			}
+		}
+	}
+}
+
+func powerIteration(a [][]float64, r interface{ NormFloat64() float64 }, iters int) []float64 {
+	dim := len(a)
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	normalise(v)
+	for it := 0; it < iters; it++ {
+		next := matVec(a, v)
+		n := norm(next)
+		if n < 1e-12 {
+			return nil
+		}
+		for i := range next {
+			next[i] /= n
+		}
+		v = next
+	}
+	return v
+}
+
+func matVec(a [][]float64, v []float64) []float64 {
+	out := make([]float64, len(a))
+	for i, row := range a {
+		s := 0.0
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func rayleigh(a [][]float64, v []float64) float64 {
+	av := matVec(a, v)
+	s := 0.0
+	for i := range v {
+		s += v[i] * av[i]
+	}
+	return s
+}
+
+func norm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func normalise(v []float64) {
+	n := norm(v)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// Score implements Scorer: the L2 distance between x and its projection
+// onto the principal subspace.
+func (m *PCA) Score(x []float64) float64 {
+	if m.mean == nil {
+		return 0
+	}
+	centred := make([]float64, len(x))
+	for i := range x {
+		centred[i] = x[i] - m.mean[i]
+	}
+	recon := make([]float64, len(x))
+	for _, comp := range m.comps {
+		dot := 0.0
+		for i := range centred {
+			dot += centred[i] * comp[i]
+		}
+		for i := range recon {
+			recon[i] += dot * comp[i]
+		}
+	}
+	resid := 0.0
+	for i := range centred {
+		d := centred[i] - recon[i]
+		resid += d * d
+	}
+	return math.Sqrt(resid)
+}
+
+// XMeans clusters the benign data with k-means, choosing k by BIC as in
+// X-means, and scores a sample by its distance to the nearest centroid.
+type XMeans struct {
+	MaxK int
+	Seed int64
+	cent [][]float64
+}
+
+// NewXMeans returns an X-means scorer with the given cluster cap.
+func NewXMeans(maxK int) *XMeans { return &XMeans{MaxK: maxK, Seed: 1} }
+
+// Name implements Scorer.
+func (m *XMeans) Name() string { return "X-means" }
+
+// Fit runs X-means: start with one cluster and greedily split clusters
+// while the Bayesian information criterion improves, up to MaxK.
+func (m *XMeans) Fit(x [][]float64) {
+	if len(x) == 0 {
+		return
+	}
+	if m.MaxK <= 0 {
+		m.MaxK = 8
+	}
+	r := mathx.NewRand(m.Seed)
+	cents := [][]float64{meanOf(x)}
+	for len(cents) < m.MaxK {
+		assign := assignAll(x, cents)
+		improved := false
+		var next [][]float64
+		for ci := range cents {
+			var members [][]float64
+			for i, a := range assign {
+				if a == ci {
+					members = append(members, x[i])
+				}
+			}
+			if len(members) < 4 {
+				next = append(next, cents[ci])
+				continue
+			}
+			// Try a 2-means split of this cluster.
+			kids := kmeans(members, 2, r, 20)
+			if len(kids) < 2 {
+				next = append(next, cents[ci])
+				continue
+			}
+			if bic(members, kids) > bic(members, [][]float64{cents[ci]}) {
+				next = append(next, kids...)
+				improved = true
+			} else {
+				next = append(next, cents[ci])
+			}
+		}
+		cents = next
+		if !improved {
+			break
+		}
+	}
+	// Final refinement pass.
+	m.cent = kmeansFrom(x, cents, 20)
+}
+
+func meanOf(x [][]float64) []float64 {
+	out := make([]float64, len(x[0]))
+	for _, row := range x {
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	for j := range out {
+		out[j] /= float64(len(x))
+	}
+	return out
+}
+
+func assignAll(x [][]float64, cents [][]float64) []int {
+	out := make([]int, len(x))
+	for i, row := range x {
+		best, bestD := 0, math.Inf(1)
+		for ci, c := range cents {
+			if d := mathx.EuclideanDistance(row, c); d < bestD {
+				best, bestD = ci, d
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// kmeans runs Lloyd's algorithm with random initial centroids.
+func kmeans(x [][]float64, k int, r interface{ Intn(int) int }, iters int) [][]float64 {
+	if len(x) < k {
+		return nil
+	}
+	cents := make([][]float64, k)
+	seen := map[int]bool{}
+	for i := 0; i < k; i++ {
+		j := r.Intn(len(x))
+		for seen[j] {
+			j = (j + 1) % len(x)
+		}
+		seen[j] = true
+		cents[i] = append([]float64(nil), x[j]...)
+	}
+	return kmeansFrom(x, cents, iters)
+}
+
+// kmeansFrom refines the given centroids with Lloyd iterations.
+func kmeansFrom(x [][]float64, cents [][]float64, iters int) [][]float64 {
+	dim := len(x[0])
+	for it := 0; it < iters; it++ {
+		assign := assignAll(x, cents)
+		sums := make([][]float64, len(cents))
+		counts := make([]int, len(cents))
+		for i := range sums {
+			sums[i] = make([]float64, dim)
+		}
+		for i, a := range assign {
+			counts[a]++
+			for j, v := range x[i] {
+				sums[a][j] += v
+			}
+		}
+		moved := false
+		for ci := range cents {
+			if counts[ci] == 0 {
+				continue
+			}
+			for j := range sums[ci] {
+				nv := sums[ci][j] / float64(counts[ci])
+				if nv != cents[ci][j] {
+					moved = true
+				}
+				cents[ci][j] = nv
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return cents
+}
+
+// bic computes the Bayesian information criterion of a spherical
+// Gaussian mixture fit (higher is better), as used by X-means to accept
+// or reject cluster splits.
+func bic(x [][]float64, cents [][]float64) float64 {
+	n := float64(len(x))
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	dim := float64(len(x[0]))
+	k := float64(len(cents))
+	assign := assignAll(x, cents)
+	// Pooled spherical variance estimate.
+	ss := 0.0
+	for i, a := range assign {
+		d := mathx.EuclideanDistance(x[i], cents[a])
+		ss += d * d
+	}
+	denom := dim * math.Max(n-k, 1)
+	variance := ss / denom
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	counts := make([]float64, len(cents))
+	for _, a := range assign {
+		counts[a]++
+	}
+	ll := 0.0
+	for _, cn := range counts {
+		if cn == 0 {
+			continue
+		}
+		ll += cn*math.Log(cn) - cn*math.Log(n) -
+			cn*dim/2*math.Log(2*math.Pi*variance) -
+			(cn-1)*dim/2
+	}
+	params := k*(dim+1) - 1
+	return ll - params/2*math.Log(n)
+}
+
+// Score implements Scorer: distance to the nearest centroid.
+func (m *XMeans) Score(x []float64) float64 {
+	if len(m.cent) == 0 {
+		return 0
+	}
+	best := math.Inf(1)
+	for _, c := range m.cent {
+		if d := mathx.EuclideanDistance(x, c); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Centroids returns the fitted centroids (for inspection and tests).
+func (m *XMeans) Centroids() [][]float64 { return m.cent }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,221 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"iguard/internal/mathx"
+)
+
+func twoClusters(seed int64, n, dim int) (benign, attack [][]float64) {
+	r := mathx.NewRand(seed)
+	for i := 0; i < n; i++ {
+		b := make([]float64, dim)
+		a := make([]float64, dim)
+		for j := range b {
+			b[j] = 0.5 + 0.05*r.NormFloat64()
+			a[j] = 3.0 + 0.05*r.NormFloat64()
+		}
+		benign = append(benign, b)
+		attack = append(attack, a)
+	}
+	return benign, attack
+}
+
+func checkSeparation(t *testing.T, s Scorer, benign, attack [][]float64) {
+	t.Helper()
+	s.Fit(benign)
+	bs, as := 0.0, 0.0
+	for _, x := range benign {
+		bs += s.Score(x)
+	}
+	for _, x := range attack {
+		as += s.Score(x)
+	}
+	bs /= float64(len(benign))
+	as /= float64(len(attack))
+	if as <= 2*bs {
+		t.Errorf("%s: attack score %v not well above benign %v", s.Name(), as, bs)
+	}
+}
+
+func TestKNNSeparates(t *testing.T) {
+	benign, attack := twoClusters(1, 200, 4)
+	checkSeparation(t, NewKNN(5), benign, attack)
+}
+
+func TestKNNEmptyFit(t *testing.T) {
+	m := NewKNN(3)
+	if got := m.Score([]float64{1}); got != 0 {
+		t.Errorf("unfitted score = %v", got)
+	}
+}
+
+func TestKNNSubsamples(t *testing.T) {
+	benign, _ := twoClusters(2, 3000, 3)
+	m := NewKNN(5)
+	m.MaxRef = 100
+	m.Fit(benign)
+	if len(m.ref) != 100 {
+		t.Errorf("reference size = %d, want 100", len(m.ref))
+	}
+}
+
+func TestKNNZeroKDefaults(t *testing.T) {
+	m := NewKNN(0)
+	benign, _ := twoClusters(3, 50, 2)
+	m.Fit(benign)
+	if m.K <= 0 {
+		t.Error("K not defaulted")
+	}
+	// Score of a training point is small but defined.
+	if s := m.Score(benign[0]); math.IsNaN(s) {
+		t.Error("NaN score")
+	}
+}
+
+func TestKNNKLargerThanRef(t *testing.T) {
+	m := NewKNN(100)
+	m.Fit([][]float64{{0}, {1}})
+	if s := m.Score([]float64{0.5}); math.IsNaN(s) || s <= 0 {
+		t.Errorf("score = %v", s)
+	}
+}
+
+func TestPCASeparates(t *testing.T) {
+	// Benign data on a 1-D manifold in 4-D; attacks off-manifold.
+	r := mathx.NewRand(4)
+	var benign, attack [][]float64
+	for i := 0; i < 300; i++ {
+		a := r.Float64()
+		benign = append(benign, []float64{a, 2 * a, -a, 0.5 * a})
+		attack = append(attack, []float64{r.Float64(), r.Float64(), r.Float64() + 1, r.Float64() - 1})
+	}
+	checkSeparation(t, NewPCA(1), benign, attack)
+}
+
+func TestPCAComponentsOrthonormal(t *testing.T) {
+	r := mathx.NewRand(5)
+	var x [][]float64
+	for i := 0; i < 200; i++ {
+		x = append(x, []float64{r.NormFloat64(), 2 * r.NormFloat64(), 0.5 * r.NormFloat64()})
+	}
+	m := NewPCA(2)
+	m.Fit(x)
+	if len(m.comps) != 2 {
+		t.Fatalf("components = %d", len(m.comps))
+	}
+	for i, c := range m.comps {
+		if math.Abs(norm(c)-1) > 1e-6 {
+			t.Errorf("component %d norm = %v", i, norm(c))
+		}
+	}
+	dot := 0.0
+	for i := range m.comps[0] {
+		dot += m.comps[0][i] * m.comps[1][i]
+	}
+	if math.Abs(dot) > 1e-3 {
+		t.Errorf("components not orthogonal: dot = %v", dot)
+	}
+}
+
+func TestPCAFirstComponentIsMaxVariance(t *testing.T) {
+	// Variance dominated by axis 1.
+	r := mathx.NewRand(6)
+	var x [][]float64
+	for i := 0; i < 500; i++ {
+		x = append(x, []float64{0.1 * r.NormFloat64(), 5 * r.NormFloat64(), 0.1 * r.NormFloat64()})
+	}
+	m := NewPCA(1)
+	m.Fit(x)
+	c := m.comps[0]
+	if math.Abs(c[1]) < 0.99 {
+		t.Errorf("first component = %v, want aligned with axis 1", c)
+	}
+}
+
+func TestPCAEmptyAndUnfitted(t *testing.T) {
+	m := NewPCA(2)
+	m.Fit(nil)
+	if got := m.Score([]float64{1, 2}); got != 0 {
+		t.Errorf("unfitted score = %v", got)
+	}
+}
+
+func TestPCAScoreZeroOnManifold(t *testing.T) {
+	var x [][]float64
+	for i := 0; i < 100; i++ {
+		a := float64(i) / 100
+		x = append(x, []float64{a, 2 * a})
+	}
+	m := NewPCA(1)
+	m.Fit(x)
+	if s := m.Score([]float64{0.5, 1.0}); s > 1e-6 {
+		t.Errorf("on-manifold score = %v, want ~0", s)
+	}
+}
+
+func TestXMeansSeparates(t *testing.T) {
+	benign, attack := twoClusters(7, 200, 3)
+	checkSeparation(t, NewXMeans(8), benign, attack)
+}
+
+func TestXMeansFindsTwoClusters(t *testing.T) {
+	// Two well-separated benign modes: X-means should use >= 2 centroids
+	// and score both modes low.
+	r := mathx.NewRand(8)
+	var x [][]float64
+	for i := 0; i < 200; i++ {
+		x = append(x, []float64{0 + 0.05*r.NormFloat64(), 0 + 0.05*r.NormFloat64()})
+		x = append(x, []float64{5 + 0.05*r.NormFloat64(), 5 + 0.05*r.NormFloat64()})
+	}
+	m := NewXMeans(8)
+	m.Fit(x)
+	if len(m.Centroids()) < 2 {
+		t.Errorf("centroids = %d, want >= 2", len(m.Centroids()))
+	}
+	if s := m.Score([]float64{0, 0}); s > 0.5 {
+		t.Errorf("mode A score = %v", s)
+	}
+	if s := m.Score([]float64{5, 5}); s > 0.5 {
+		t.Errorf("mode B score = %v", s)
+	}
+	if s := m.Score([]float64{2.5, 2.5}); s < 1 {
+		t.Errorf("between-modes score = %v, want large", s)
+	}
+}
+
+func TestXMeansRespectsMaxK(t *testing.T) {
+	r := mathx.NewRand(9)
+	var x [][]float64
+	for i := 0; i < 300; i++ {
+		x = append(x, []float64{r.Float64() * 100, r.Float64() * 100})
+	}
+	m := NewXMeans(4)
+	m.Fit(x)
+	if len(m.Centroids()) > 4 {
+		t.Errorf("centroids = %d, want <= 4", len(m.Centroids()))
+	}
+}
+
+func TestXMeansEmptyFit(t *testing.T) {
+	m := NewXMeans(4)
+	m.Fit(nil)
+	if got := m.Score([]float64{1}); got != 0 {
+		t.Errorf("unfitted score = %v", got)
+	}
+}
+
+func TestXMeansTinyDataset(t *testing.T) {
+	m := NewXMeans(8)
+	m.Fit([][]float64{{1, 1}, {2, 2}})
+	if len(m.Centroids()) == 0 {
+		t.Error("no centroids on tiny dataset")
+	}
+}
+
+func TestScorerNames(t *testing.T) {
+	if NewKNN(3).Name() != "kNN" || NewPCA(2).Name() != "PCA" || NewXMeans(4).Name() != "X-means" {
+		t.Error("unexpected scorer names")
+	}
+}

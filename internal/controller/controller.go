@@ -1,0 +1,146 @@
+// Package controller implements iGuard's control plane: it consumes
+// flow-class digests from the data plane, installs blacklist rules for
+// malicious flows, clears the flow's stateful storage, and evicts old
+// blacklist entries under FIFO or LRU policy when the table fills
+// (Fig. 1 steps 10a/10b and §3.3.2 "Controller").
+package controller
+
+import (
+	"container/list"
+	"sync"
+
+	"iguard/internal/features"
+	"iguard/internal/switchsim"
+)
+
+// EvictionPolicy selects how blacklist entries are retired when the
+// table is full.
+type EvictionPolicy int
+
+// Supported policies.
+const (
+	FIFO EvictionPolicy = iota
+	LRU
+)
+
+// String implements fmt.Stringer.
+func (p EvictionPolicy) String() string {
+	if p == LRU {
+		return "lru"
+	}
+	return "fifo"
+}
+
+// Switch is the data-plane surface the controller drives. *switchsim.
+// Switch satisfies it.
+type Switch interface {
+	InstallBlacklist(key features.FlowKey) bool
+	RemoveBlacklist(key features.FlowKey)
+	ClearFlow(key features.FlowKey)
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	DigestsReceived int
+	BytesReceived   int
+	RulesInstalled  int
+	RulesEvicted    int
+	StorageCleared  int
+}
+
+// Controller is the control-plane agent. It is safe for concurrent use
+// (digests may arrive from multiple pipelines).
+type Controller struct {
+	mu       sync.Mutex
+	sw       Switch
+	capacity int
+	policy   EvictionPolicy
+	order    *list.List // of features.FlowKey, front = next eviction
+	index    map[features.FlowKey]*list.Element
+	stats    Stats
+}
+
+// New returns a controller managing the given switch with a blacklist
+// capacity and eviction policy.
+func New(sw Switch, capacity int, policy EvictionPolicy) *Controller {
+	if capacity <= 0 {
+		capacity = 8192
+	}
+	return &Controller{
+		sw:       sw,
+		capacity: capacity,
+		policy:   policy,
+		order:    list.New(),
+		index:    map[features.FlowKey]*list.Element{},
+	}
+}
+
+// OnDigest implements switchsim.DigestSink: it clears the flow's
+// stateful storage and, for malicious flows, installs a blacklist rule,
+// evicting the oldest (FIFO) or least-recently-confirmed (LRU) entry
+// when full.
+func (c *Controller) OnDigest(d switchsim.Digest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.DigestsReceived++
+	c.stats.BytesReceived += switchsim.DigestBytes
+	c.sw.ClearFlow(d.Key)
+	c.stats.StorageCleared++
+	if d.Label != 1 {
+		return
+	}
+	key := d.Key.Canonical()
+	if el, ok := c.index[key]; ok {
+		// Already blacklisted: LRU refreshes recency, FIFO does not.
+		if c.policy == LRU {
+			c.order.MoveToBack(el)
+		}
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		c.evictLocked()
+	}
+	c.index[key] = c.order.PushBack(key)
+	c.sw.InstallBlacklist(key)
+	c.stats.RulesInstalled++
+}
+
+// evictLocked removes the front entry. Caller holds the lock.
+func (c *Controller) evictLocked() {
+	front := c.order.Front()
+	if front == nil {
+		return
+	}
+	key := front.Value.(features.FlowKey)
+	c.order.Remove(front)
+	delete(c.index, key)
+	c.sw.RemoveBlacklist(key)
+	c.stats.RulesEvicted++
+}
+
+// Touch records data-plane activity for an already blacklisted flow
+// (red-path hits) so LRU keeps hot attackers blacklisted.
+func (c *Controller) Touch(key features.FlowKey) {
+	if c.policy != LRU {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key.Canonical()]; ok {
+		c.order.MoveToBack(el)
+	}
+}
+
+// Stats returns a snapshot of controller activity.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// BlacklistLen returns the number of tracked blacklist entries.
+func (c *Controller) BlacklistLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

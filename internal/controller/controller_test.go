@@ -1,0 +1,177 @@
+package controller
+
+import (
+	"sync"
+	"testing"
+
+	"iguard/internal/features"
+	"iguard/internal/switchsim"
+)
+
+// fakeSwitch records controller-driven operations.
+type fakeSwitch struct {
+	mu        sync.Mutex
+	installed map[features.FlowKey]bool
+	cleared   int
+}
+
+func newFakeSwitch() *fakeSwitch {
+	return &fakeSwitch{installed: map[features.FlowKey]bool{}}
+}
+
+func (f *fakeSwitch) InstallBlacklist(key features.FlowKey) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.installed[key.Canonical()] = true
+	return true
+}
+
+func (f *fakeSwitch) RemoveBlacklist(key features.FlowKey) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.installed, key.Canonical())
+}
+
+func (f *fakeSwitch) ClearFlow(features.FlowKey) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cleared++
+}
+
+func key(n byte) features.FlowKey {
+	return features.FlowKey{SrcIP: [4]byte{10, 0, 0, n}, DstIP: [4]byte{23, 1, 0, 1}, SrcPort: 1000, DstPort: 443, Proto: 6}
+}
+
+func TestMaliciousDigestInstallsRule(t *testing.T) {
+	fs := newFakeSwitch()
+	c := New(fs, 10, FIFO)
+	c.OnDigest(switchsim.Digest{Key: key(1), Label: 1})
+	if !fs.installed[key(1).Canonical()] {
+		t.Error("blacklist rule not installed")
+	}
+	if fs.cleared != 1 {
+		t.Errorf("storage cleared %d times", fs.cleared)
+	}
+	s := c.Stats()
+	if s.DigestsReceived != 1 || s.RulesInstalled != 1 || s.StorageCleared != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.BytesReceived != switchsim.DigestBytes {
+		t.Errorf("bytes = %d", s.BytesReceived)
+	}
+}
+
+func TestBenignDigestOnlyClears(t *testing.T) {
+	fs := newFakeSwitch()
+	c := New(fs, 10, FIFO)
+	c.OnDigest(switchsim.Digest{Key: key(2), Label: 0})
+	if len(fs.installed) != 0 {
+		t.Error("benign digest installed a rule")
+	}
+	if fs.cleared != 1 {
+		t.Errorf("cleared = %d", fs.cleared)
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	fs := newFakeSwitch()
+	c := New(fs, 2, FIFO)
+	c.OnDigest(switchsim.Digest{Key: key(1), Label: 1})
+	c.OnDigest(switchsim.Digest{Key: key(2), Label: 1})
+	// Re-digest key(1): FIFO does not refresh its position.
+	c.OnDigest(switchsim.Digest{Key: key(1), Label: 1})
+	c.OnDigest(switchsim.Digest{Key: key(3), Label: 1})
+	if fs.installed[key(1).Canonical()] {
+		t.Error("FIFO should evict key(1) first")
+	}
+	if !fs.installed[key(2).Canonical()] || !fs.installed[key(3).Canonical()] {
+		t.Error("wrong survivors")
+	}
+	if c.BlacklistLen() != 2 {
+		t.Errorf("len = %d", c.BlacklistLen())
+	}
+	if got := c.Stats().RulesEvicted; got != 1 {
+		t.Errorf("evicted = %d", got)
+	}
+}
+
+func TestLRUEvictionRefreshesOnDigest(t *testing.T) {
+	fs := newFakeSwitch()
+	c := New(fs, 2, LRU)
+	c.OnDigest(switchsim.Digest{Key: key(1), Label: 1})
+	c.OnDigest(switchsim.Digest{Key: key(2), Label: 1})
+	// Refresh key(1): now key(2) is least recent.
+	c.OnDigest(switchsim.Digest{Key: key(1), Label: 1})
+	c.OnDigest(switchsim.Digest{Key: key(3), Label: 1})
+	if fs.installed[key(2).Canonical()] {
+		t.Error("LRU should evict key(2)")
+	}
+	if !fs.installed[key(1).Canonical()] {
+		t.Error("refreshed key(1) evicted")
+	}
+}
+
+func TestLRUTouch(t *testing.T) {
+	fs := newFakeSwitch()
+	c := New(fs, 2, LRU)
+	c.OnDigest(switchsim.Digest{Key: key(1), Label: 1})
+	c.OnDigest(switchsim.Digest{Key: key(2), Label: 1})
+	c.Touch(key(1))
+	c.OnDigest(switchsim.Digest{Key: key(3), Label: 1})
+	if fs.installed[key(2).Canonical()] {
+		t.Error("touched key(1) should have survived over key(2)")
+	}
+}
+
+func TestTouchIgnoredUnderFIFO(t *testing.T) {
+	fs := newFakeSwitch()
+	c := New(fs, 2, FIFO)
+	c.OnDigest(switchsim.Digest{Key: key(1), Label: 1})
+	c.OnDigest(switchsim.Digest{Key: key(2), Label: 1})
+	c.Touch(key(1))
+	c.OnDigest(switchsim.Digest{Key: key(3), Label: 1})
+	if fs.installed[key(1).Canonical()] {
+		t.Error("FIFO must ignore Touch")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	c := New(newFakeSwitch(), 0, FIFO)
+	if c.capacity <= 0 {
+		t.Error("default capacity not applied")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FIFO.String() != "fifo" || LRU.String() != "lru" {
+		t.Error("policy strings")
+	}
+}
+
+func TestEndToEndWithRealSwitch(t *testing.T) {
+	sw := switchsim.New(switchsim.Config{Slots: 32, PktThreshold: 4, BlacklistCapacity: 16})
+	c := New(sw, 16, LRU)
+	c.OnDigest(switchsim.Digest{Key: key(9), Label: 1})
+	if sw.BlacklistLen() != 1 {
+		t.Errorf("switch blacklist = %d", sw.BlacklistLen())
+	}
+}
+
+func TestConcurrentDigests(t *testing.T) {
+	fs := newFakeSwitch()
+	c := New(fs, 64, LRU)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base byte) {
+			defer wg.Done()
+			for j := 0; j < 32; j++ {
+				c.OnDigest(switchsim.Digest{Key: key(base*32 + byte(j)), Label: j % 2})
+			}
+		}(byte(i))
+	}
+	wg.Wait()
+	if got := c.Stats().DigestsReceived; got != 256 {
+		t.Errorf("digests = %d", got)
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"testing"
+
+	"iguard/internal/mathx"
+	"iguard/internal/rules"
+)
+
+// bandGuide flags points whose first feature exceeds 0.7 OR whose
+// second feature leaves [-0.5, 1.5] (off-range bands on both sides),
+// exercising both in-range splits and the boundary peel.
+type bandGuide struct{}
+
+func (bandGuide) Predict(x []float64) int {
+	if x[0] > 0.7 || x[1] < -0.5 || x[1] > 1.5 {
+		return 1
+	}
+	return 0
+}
+func (g bandGuide) PerMemberErrors(x []float64) []float64 {
+	return []float64{float64(g.Predict(x))}
+}
+func (bandGuide) LabelLeafByMeanRE(meanRE []float64) int {
+	if meanRE[0] > 0.5 {
+		return 1
+	}
+	return 0
+}
+
+func uniformData(seed int64, n, dim int) [][]float64 {
+	r := mathx.NewRand(seed)
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = r.Float64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestBoundaryPeelCatchesOffRangePoints(t *testing.T) {
+	// Training data lives in [0,1]²; the guide flags anything with
+	// x[1] < -0.5, a region no training or augmentation sample reaches
+	// without the peel.
+	opts := DefaultOptions()
+	opts.Trees = 3
+	opts.SubSample = 128
+	opts.Augment = 8
+	opts.DistillAugment = 32
+	opts.Bounds = rules.FullBox(2, -2, 3)
+	opts.Seed = 3
+	f, err := Fit(uniformData(3, 300, 2), bandGuide{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep off-range points route to peel leaves labelled malicious by
+	// distillation augments.
+	if got := f.Predict([]float64{0.5, -1.5}); got != 1 {
+		t.Errorf("off-range point predicted %d, want 1", got)
+	}
+	if got := f.Predict([]float64{0.5, 2.5}); got != 1 {
+		t.Errorf("off-range high point predicted %d, want 1", got)
+	}
+	// In-range benign space stays benign.
+	if got := f.Predict([]float64{0.3, 0.5}); got != 0 {
+		t.Errorf("benign point predicted %d, want 0", got)
+	}
+}
+
+func TestBoundsPeelRegionsTileUniverse(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Trees = 2
+	opts.SubSample = 64
+	opts.Augment = 4
+	opts.DistillAugment = 16
+	opts.Bounds = rules.FullBox(2, -1, 2)
+	opts.Seed = 5
+	f, err := Fit(uniformData(5, 200, 2), bandGuide{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mathx.NewRand(6)
+	universe := rules.FullBox(2, -1, 2)
+	for ti := range f.Trees {
+		boxes, labels := f.LabelledLeafRegionsWithin(ti, universe)
+		if len(boxes) != len(labels) {
+			t.Fatal("boxes/labels mismatch")
+		}
+		for trial := 0; trial < 100; trial++ {
+			p := []float64{-1 + 3*r.Float64(), -1 + 3*r.Float64()}
+			hits := 0
+			for _, b := range boxes {
+				if b.Contains(p) {
+					hits++
+				}
+			}
+			if hits != 1 {
+				t.Fatalf("tree %d: point %v in %d regions", ti, p, hits)
+			}
+		}
+	}
+}
+
+func TestPruneInvariance(t *testing.T) {
+	// Pruning must not change any prediction.
+	opts := DefaultOptions()
+	opts.Trees = 3
+	opts.SubSample = 128
+	opts.Augment = 8
+	opts.DistillAugment = 16
+	opts.Bounds = rules.FullBox(2, -1, 2)
+	opts.Seed = 7
+	data := uniformData(7, 300, 2)
+	// Fit prunes internally; fit a second forest and compare its
+	// pre/post prune predictions manually.
+	f, err := Fit(data, bandGuide{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := f.NumLeaves()
+	// Prune again: idempotent and prediction-invariant.
+	r := mathx.NewRand(8)
+	probes := make([][]float64, 300)
+	for i := range probes {
+		probes[i] = []float64{-1 + 3*r.Float64(), -1 + 3*r.Float64()}
+	}
+	want := make([]int, len(probes))
+	for i, p := range probes {
+		want[i] = f.Predict(p)
+	}
+	f.Prune()
+	if f.NumLeaves() > before {
+		t.Errorf("second prune grew the forest: %d -> %d", before, f.NumLeaves())
+	}
+	for i, p := range probes {
+		if got := f.Predict(p); got != want[i] {
+			t.Fatalf("prune changed prediction at %v: %d -> %d", p, want[i], got)
+		}
+	}
+}
+
+func TestAugmentForSplitProperties(t *testing.T) {
+	r := mathx.NewRand(9)
+	box := rules.NewBox([]float64{0, 10}, []float64{1, 20})
+	members := [][]float64{{0.5, 15}, {0.25, 12}}
+	probes := augmentForSplit(r, box, 16, members)
+	if len(probes) != 16 {
+		t.Fatalf("probes = %d", len(probes))
+	}
+	for _, p := range probes {
+		if !box.Contains(p) {
+			t.Fatalf("probe %v outside box", p)
+		}
+	}
+	// k = 0 yields none; empty members fall back to box normals.
+	if got := augmentForSplit(r, box, 0, members); got != nil {
+		t.Errorf("k=0 probes = %v", got)
+	}
+	if got := augmentForSplit(r, box, 6, nil); len(got) != 6 {
+		t.Errorf("fallback probes = %d", len(got))
+	}
+}
+
+func TestBestSplitIntervalLookahead(t *testing.T) {
+	// A malicious sliver between two benign groups: single-threshold
+	// gain is weak everywhere, but the interval candidate must win and
+	// realise the split at the sliver's lower edge.
+	var pts [][]float64
+	var labels []int
+	nMal := 0
+	for i := 0; i < 40; i++ {
+		pts = append(pts, []float64{float64(i) * 0.01}) // 0.00..0.39
+		labels = append(labels, 0)
+	}
+	for i := 0; i < 6; i++ {
+		pts = append(pts, []float64{0.50 + float64(i)*0.01})
+		labels = append(labels, 1)
+		nMal++
+	}
+	for i := 0; i < 40; i++ {
+		pts = append(pts, []float64{0.70 + float64(i)*0.01})
+		labels = append(labels, 0)
+	}
+	ls := labelledSet{pts: pts, labels: labels, nMal: nMal}
+	q, p, gain := bestSplit(ls, 1, 0)
+	if q != 0 || gain <= 0 {
+		t.Fatalf("no split found: q=%d gain=%v", q, gain)
+	}
+	// The split must land at one sliver edge, not inside the benign
+	// groups.
+	if !(p > 0.39 && p < 0.56) && !(p > 0.54 && p < 0.71) {
+		t.Errorf("split point %v not at a sliver edge", p)
+	}
+}
+
+func TestDistillAugmentFallback(t *testing.T) {
+	// DistillAugment 0 falls back to Augment.
+	opts := DefaultOptions()
+	opts.Trees = 2
+	opts.SubSample = 64
+	opts.Augment = 8
+	opts.DistillAugment = 0
+	opts.Seed = 11
+	if _, err := Fit(uniformData(11, 100, 2), bandGuide{}, opts); err != nil {
+		t.Fatal(err)
+	}
+}

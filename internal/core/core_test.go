@@ -1,0 +1,363 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"iguard/internal/mathx"
+	"iguard/internal/rules"
+)
+
+// oracleGuide is a deterministic stand-in for the autoencoder ensemble:
+// a sample is "malicious" when its first feature exceeds cut. Its
+// reconstruction error is the (positive) distance above the cut.
+type oracleGuide struct {
+	cut float64
+}
+
+func (g oracleGuide) Predict(x []float64) int {
+	if x[0] > g.cut {
+		return 1
+	}
+	return 0
+}
+
+func (g oracleGuide) PerMemberErrors(x []float64) []float64 {
+	return []float64{x[0] - g.cut}
+}
+
+func (g oracleGuide) LabelLeafByMeanRE(meanRE []float64) int {
+	if meanRE[0] > 0 {
+		return 1
+	}
+	return 0
+}
+
+// mixedData returns points uniform in [0,1]^dim: some fall on each side
+// of the oracle's cut, so guided training has something to separate.
+func mixedData(seed int64, n, dim int) [][]float64 {
+	r := mathx.NewRand(seed)
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = r.Float64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func fitOracle(t *testing.T, seed int64) *Forest {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Trees = 5
+	opts.SubSample = 128
+	opts.Augment = 32
+	opts.Seed = seed
+	f, err := Fit(mixedData(seed, 400, 3), oracleGuide{cut: 0.7}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFitValidation(t *testing.T) {
+	g := oracleGuide{cut: 0.5}
+	if _, err := Fit(nil, g, DefaultOptions()); err == nil {
+		t.Error("want error on empty training set")
+	}
+	bad := DefaultOptions()
+	bad.Trees = 0
+	if _, err := Fit(mixedData(1, 10, 2), g, bad); err == nil {
+		t.Error("want error on Trees = 0")
+	}
+	bad = DefaultOptions()
+	bad.TauSplit = 2
+	if _, err := Fit(mixedData(1, 10, 2), g, bad); err == nil {
+		t.Error("want error on TauSplit > 1")
+	}
+	bad = DefaultOptions()
+	bad.Augment = -1
+	if _, err := Fit(mixedData(1, 10, 2), g, bad); err == nil {
+		t.Error("want error on negative Augment")
+	}
+	bad = DefaultOptions()
+	bad.SubSample = 0
+	if _, err := Fit(mixedData(1, 10, 2), g, bad); err == nil {
+		t.Error("want error on SubSample = 0")
+	}
+}
+
+func TestGuidedForestMatchesOracle(t *testing.T) {
+	f := fitOracle(t, 11)
+	// The distilled forest must reproduce the oracle decision almost
+	// everywhere.
+	test := mixedData(12, 500, 3)
+	agree := 0
+	g := oracleGuide{cut: 0.7}
+	for _, x := range test {
+		if f.Predict(x) == g.Predict(x) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / 500; frac < 0.95 {
+		t.Errorf("oracle agreement = %v, want >= 0.95", frac)
+	}
+}
+
+func TestSplitsConcentrateOnInformativeFeature(t *testing.T) {
+	f := fitOracle(t, 13)
+	splits := f.SplitValues()
+	// Feature 0 is the only informative one; the guided trees should
+	// split on it near the cut. Other features may appear but feature 0
+	// must dominate.
+	if len(splits[0]) == 0 {
+		t.Fatal("no splits on the informative feature")
+	}
+	nearCut := 0
+	for _, p := range splits[0] {
+		if math.Abs(p-0.7) < 0.15 {
+			nearCut++
+		}
+	}
+	if nearCut == 0 {
+		t.Errorf("no split near the oracle cut; splits on f0: %v", splits[0])
+	}
+}
+
+func TestScoreIsVoteFraction(t *testing.T) {
+	f := fitOracle(t, 15)
+	x := []float64{0.9, 0.5, 0.5}
+	votes := f.Votes(x)
+	want := float64(votes) / float64(len(f.Trees))
+	if got := f.Score(x); got != want {
+		t.Errorf("Score = %v, want %v", got, want)
+	}
+	if s := f.Score(x); s < 0 || s > 1 {
+		t.Errorf("Score out of range: %v", s)
+	}
+}
+
+func TestPredictMajorityTieIsBenign(t *testing.T) {
+	// Construct a forest with an even number of trees manually voting
+	// 1:1; Predict must return 0 (benign) on ties.
+	leafMal := &node{Label: 1, Box: rules.FullBox(1, 0, 1)}
+	leafBen := &node{Label: 0, Box: rules.FullBox(1, 0, 1)}
+	f := &Forest{
+		Trees: []*Tree{
+			{root: leafMal, bounds: rules.FullBox(1, 0, 1)},
+			{root: leafBen, bounds: rules.FullBox(1, 0, 1)},
+		},
+		Dim: 1,
+	}
+	if got := f.Predict([]float64{0.5}); got != 0 {
+		t.Errorf("tie Predict = %d, want 0", got)
+	}
+}
+
+func TestStoppingCriterionSkew(t *testing.T) {
+	// A guide that labels everything benign: trees must stop immediately
+	// (skew ratio 0 < τ_split) leaving single-leaf trees.
+	opts := DefaultOptions()
+	opts.Trees = 3
+	opts.SubSample = 64
+	opts.Seed = 17
+	f, err := Fit(mixedData(17, 200, 2), oracleGuide{cut: 2}, opts) // cut=2: nothing malicious
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumLeaves() != 3 {
+		t.Errorf("all-benign guide grew %d leaves, want 3 (one per tree)", f.NumLeaves())
+	}
+	if f.MaxDepth() != 0 {
+		t.Errorf("max depth = %d, want 0", f.MaxDepth())
+	}
+}
+
+func TestMaxDepthRespectsHeightCap(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Trees = 4
+	opts.SubSample = 64
+	opts.TauSplit = 0.5 // aggressive splitting
+	opts.Seed = 19
+	f, err := Fit(mixedData(19, 300, 3), oracleGuide{cut: 0.5}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := int(math.Ceil(math.Log2(64)))
+	if d := f.MaxDepth(); d > limit {
+		t.Errorf("depth %d exceeds cap %d", d, limit)
+	}
+}
+
+func TestLabelledLeafRegionsTile(t *testing.T) {
+	f := fitOracle(t, 21)
+	r := mathx.NewRand(22)
+	for ti := range f.Trees {
+		boxes, labels := f.LabelledLeafRegions(ti)
+		if len(boxes) != len(labels) {
+			t.Fatalf("boxes/labels length mismatch: %d vs %d", len(boxes), len(labels))
+		}
+		bounds := f.Bounds(ti)
+		for trial := 0; trial < 30; trial++ {
+			p := make([]float64, f.Dim)
+			for j := range p {
+				p[j] = bounds[j].Lo + r.Float64()*(bounds[j].Hi-bounds[j].Lo)
+			}
+			hits := 0
+			for _, b := range boxes {
+				if b.Contains(p) {
+					hits++
+				}
+			}
+			if hits != 1 {
+				t.Fatalf("tree %d: point in %d leaf regions, want 1", ti, hits)
+			}
+		}
+	}
+}
+
+func TestLeafRegionLabelsMatchRouting(t *testing.T) {
+	// The label of the region containing x must equal the tree's routed
+	// label for x.
+	f := fitOracle(t, 23)
+	test := mixedData(24, 100, 3)
+	for ti, tree := range f.Trees {
+		boxes, labels := f.LabelledLeafRegions(ti)
+		for _, x := range test {
+			if !f.Bounds(ti).Contains(x) {
+				continue
+			}
+			routed := tree.route(x).Label
+			for bi, b := range boxes {
+				if b.Contains(x) {
+					if labels[bi] != routed {
+						t.Fatalf("tree %d: region label %d != routed label %d", ti, labels[bi], routed)
+					}
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := fitOracle(t, 31)
+	b := fitOracle(t, 31)
+	probe := []float64{0.42, 0.13, 0.77}
+	if a.Score(probe) != b.Score(probe) {
+		t.Error("same seed produced different forests")
+	}
+	if a.NumLeaves() != b.NumLeaves() {
+		t.Error("same seed produced different structures")
+	}
+}
+
+func TestDistillSetsMeanRE(t *testing.T) {
+	f := fitOracle(t, 33)
+	found := false
+	for ti := range f.Trees {
+		boxes, _ := f.LabelledLeafRegions(ti)
+		if len(boxes) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no leaves")
+	}
+	// Leaves well above the cut must be labelled malicious; below, benign.
+	if got := f.Predict([]float64{0.95, 0.5, 0.5}); got != 1 {
+		t.Errorf("deep-malicious point predicted %d, want 1", got)
+	}
+	if got := f.Predict([]float64{0.1, 0.5, 0.5}); got != 0 {
+		t.Errorf("deep-benign point predicted %d, want 0", got)
+	}
+}
+
+func TestAugmentBoxWithinBounds(t *testing.T) {
+	r := mathx.NewRand(35)
+	box := rules.NewBox([]float64{0, 10}, []float64{1, 20})
+	pts := augmentBox(r, box, 200)
+	if len(pts) != 200 {
+		t.Fatalf("augmented %d points, want 200", len(pts))
+	}
+	for _, p := range pts {
+		if !box.Contains(p) {
+			t.Fatalf("augmented point %v outside box %v", p, box)
+		}
+	}
+}
+
+func TestAugmentBoxDegenerate(t *testing.T) {
+	r := mathx.NewRand(36)
+	// Zero-width box: all samples equal the single point.
+	box := rules.NewBox([]float64{5}, []float64{5})
+	pts := augmentBox(r, box, 10)
+	for _, p := range pts {
+		if p[0] != 5 {
+			t.Fatalf("degenerate box sample = %v, want 5", p[0])
+		}
+	}
+}
+
+func TestBestSplitFindsPerfectSeparation(t *testing.T) {
+	// Points below 0 labelled 0, above labelled 1: gain must be the full
+	// parent entropy and the split must land between the groups.
+	pts := [][]float64{{-2}, {-1}, {1}, {2}}
+	ls := labelledSet{pts: pts, labels: []int{0, 0, 1, 1}, nMal: 2}
+	q, p, gain := bestSplit(ls, 1, 0)
+	if q != 0 {
+		t.Errorf("split feature = %d, want 0", q)
+	}
+	if p <= -1 || p >= 1 {
+		t.Errorf("split point = %v, want in (-1, 1)", p)
+	}
+	if math.Abs(gain-1) > 1e-12 {
+		t.Errorf("gain = %v, want 1 (full entropy)", gain)
+	}
+}
+
+func TestBestSplitNoGainOnPureSet(t *testing.T) {
+	pts := [][]float64{{1}, {2}, {3}}
+	ls := labelledSet{pts: pts, labels: []int{0, 0, 0}, nMal: 0}
+	q, _, gain := bestSplit(ls, 1, 0)
+	if gain != 0 || q != -1 {
+		t.Errorf("pure set: q=%d gain=%v, want q=-1 gain=0", q, gain)
+	}
+}
+
+func TestBestSplitCandidateCap(t *testing.T) {
+	// With a cap of 1 candidate per feature the search still returns a
+	// valid split on separable data.
+	r := mathx.NewRand(37)
+	var pts [][]float64
+	var labels []int
+	nMal := 0
+	for i := 0; i < 100; i++ {
+		v := r.Float64()
+		pts = append(pts, []float64{v})
+		l := 0
+		if v > 0.5 {
+			l = 1
+		}
+		labels = append(labels, l)
+		nMal += l
+	}
+	ls := labelledSet{pts: pts, labels: labels, nMal: nMal}
+	_, _, gainFull := bestSplit(ls, 1, 0)
+	qc, _, gainCapped := bestSplit(ls, 1, 1)
+	if gainFull <= 0 {
+		t.Fatal("full search found no gain")
+	}
+	if qc != 0 && gainCapped != 0 {
+		t.Errorf("capped search returned feature %d", qc)
+	}
+}
+
+func TestTrainedOptionsRoundTrip(t *testing.T) {
+	f := fitOracle(t, 39)
+	if f.TrainedOptions().Trees != 5 {
+		t.Errorf("TrainedOptions.Trees = %d", f.TrainedOptions().Trees)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"iguard/internal/rules"
+)
+
+// nodeJSON is the serialised tree node. Leaves carry label/box/meanRE;
+// internal nodes carry the split and children.
+type nodeJSON struct {
+	Feature int       `json:"q,omitempty"`
+	Split   float64   `json:"p,omitempty"`
+	Left    *nodeJSON `json:"l,omitempty"`
+	Right   *nodeJSON `json:"r,omitempty"`
+	Label   int       `json:"label,omitempty"`
+	Box     rules.Box `json:"box,omitempty"`
+	MeanRE  []float64 `json:"re,omitempty"`
+	Size    int       `json:"n,omitempty"`
+}
+
+type treeJSON struct {
+	Root   *nodeJSON `json:"root"`
+	Bounds rules.Box `json:"bounds"`
+}
+
+type forestJSON struct {
+	Trees []treeJSON `json:"trees"`
+	Dim   int        `json:"dim"`
+	Opts  Options    `json:"opts"`
+}
+
+func encodeNode(n *node) *nodeJSON {
+	if n == nil {
+		return nil
+	}
+	return &nodeJSON{
+		Feature: n.Feature,
+		Split:   n.Split,
+		Left:    encodeNode(n.Left),
+		Right:   encodeNode(n.Right),
+		Label:   n.Label,
+		Box:     n.Box,
+		MeanRE:  n.MeanRE,
+		Size:    n.Size,
+	}
+}
+
+func decodeNode(j *nodeJSON) *node {
+	if j == nil {
+		return nil
+	}
+	return &node{
+		Feature: j.Feature,
+		Split:   j.Split,
+		Left:    decodeNode(j.Left),
+		Right:   decodeNode(j.Right),
+		Label:   j.Label,
+		Box:     j.Box,
+		MeanRE:  j.MeanRE,
+		Size:    j.Size,
+	}
+}
+
+// MarshalJSON serialises the trained, distilled forest (structure, leaf
+// labels and distillation data) so deployments can persist and reload
+// full-fidelity detectors.
+func (f *Forest) MarshalJSON() ([]byte, error) {
+	out := forestJSON{Dim: f.Dim, Opts: f.opts}
+	for _, t := range f.Trees {
+		out.Trees = append(out.Trees, treeJSON{Root: encodeNode(t.root), Bounds: t.bounds})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a forest serialised by MarshalJSON.
+func (f *Forest) UnmarshalJSON(data []byte) error {
+	var in forestJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("core: forest decode: %w", err)
+	}
+	f.Dim = in.Dim
+	f.opts = in.Opts
+	f.Trees = nil
+	for _, tj := range in.Trees {
+		if tj.Root == nil {
+			return fmt.Errorf("core: forest decode: tree without root")
+		}
+		f.Trees = append(f.Trees, &Tree{root: decodeNode(tj.Root), bounds: tj.Bounds})
+	}
+	return nil
+}

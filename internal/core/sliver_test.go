@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"iguard/internal/mathx"
+	"iguard/internal/rules"
+)
+
+// sliverGuide flags points whose f1 lies in [0.55, 0.70) — a thin
+// interior sliver between two benign clusters.
+type sliverGuide struct{}
+
+func (sliverGuide) Predict(x []float64) int {
+	if x[1] >= 0.55 && x[1] < 0.70 {
+		return 1
+	}
+	return 0
+}
+func (sliverGuide) PerMemberErrors(x []float64) []float64 {
+	if x[1] >= 0.55 && x[1] < 0.70 {
+		return []float64{1}
+	}
+	return []float64{0}
+}
+func (sliverGuide) LabelLeafByMeanRE(meanRE []float64) int {
+	if meanRE[0] > 0.5 {
+		return 1
+	}
+	return 0
+}
+
+func TestSliverCarving(t *testing.T) {
+	r := mathx.NewRand(1)
+	// Benign clusters at f1≈0.1 and f1≈0.85, f0 uniform.
+	var x [][]float64
+	for i := 0; i < 400; i++ {
+		f1 := 0.1 + 0.1*r.Float64()
+		if i%2 == 0 {
+			f1 = 0.78 + 0.2*r.Float64()
+		}
+		x = append(x, []float64{r.Float64(), f1})
+	}
+	for _, k := range []int{0, 8, 16} {
+		opts := DefaultOptions()
+		opts.Trees = 5
+		opts.SubSample = 128
+		opts.Augment = k
+		opts.DistillAugment = 32
+		opts.Bounds = rules.FullBox(2, -0.25, 1.75)
+		opts.Seed = 7
+		f, err := Fit(x, sliverGuide{}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Test points inside the sliver.
+		caught, total := 0, 0
+		for i := 0; i < 100; i++ {
+			p := []float64{r.Float64(), 0.56 + 0.13*r.Float64()}
+			caught += f.Predict(p)
+			total++
+		}
+		// Benign points must stay benign.
+		fp := 0
+		for i := 0; i < 100; i++ {
+			p := []float64{r.Float64(), 0.12 + 0.05*r.Float64()}
+			fp += f.Predict(p)
+		}
+		fmt.Printf("k=%d: sliver caught %d/%d, benign FP %d/100, leaves=%d\n", k, caught, total, fp, f.NumLeaves())
+	}
+}

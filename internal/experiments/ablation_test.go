@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"iguard/internal/traffic"
+)
+
+func TestAblationGuidance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	lab := labForTests()
+	res, err := lab.RunAblationGuidance(traffic.UDPDDoS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.MacroF1 < 0 || row.MacroF1 > 1 {
+			t.Errorf("%s macro F1 = %v", row.Variant, row.MacroF1)
+		}
+	}
+	// The deployed variant should not lose to the random-split ablation.
+	if res.Rows[0].MacroF1+0.05 < res.Rows[1].MacroF1 {
+		t.Errorf("guided (%v) materially below random (%v)", res.Rows[0].MacroF1, res.Rows[1].MacroF1)
+	}
+	if !strings.Contains(res.String(), "guided splits") {
+		t.Error("render missing variants")
+	}
+}
+
+func TestAblationMerging(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	lab := labForTests()
+	res, err := lab.RunAblationMerging(traffic.Mirai)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	merged, raw := res.Rows[0].Rules, res.Rows[1].Rules
+	if merged > raw {
+		t.Errorf("merged rules (%d) exceed raw cells (%d)", merged, raw)
+	}
+	if merged == 0 || raw == 0 {
+		t.Error("empty rule counts")
+	}
+}
+
+func TestAblationBoundaryPeel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	lab := labForTests()
+	res, err := lab.RunAblationBoundaryPeel(traffic.UDPDDoS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The peel must not hurt, and typically helps on the out-of-range
+	// flood.
+	if res.Rows[0].MacroF1+0.05 < res.Rows[1].MacroF1 {
+		t.Errorf("peel (%v) materially below no-peel (%v)", res.Rows[0].MacroF1, res.Rows[1].MacroF1)
+	}
+}

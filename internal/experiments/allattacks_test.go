@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"iguard/internal/traffic"
+)
+
+// TestDebugAllAttacks prints the full three-experiment sweep; it is the
+// development harness behind cmd/iguard-eval and skipped in -short.
+func TestDebugAllAttacks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	lab := NewLab(QuickLabConfig())
+	start := time.Now()
+	attacks := traffic.AllAttacks()
+	r5, err := lab.RunFig5(attacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(r5)
+	r6, err := lab.RunFig6(attacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(r6)
+	r1, err := lab.RunTable1(attacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(r1)
+	fmt.Printf("total %v\n", time.Since(start))
+}

@@ -1,0 +1,201 @@
+// Package experiments assembles datasets and runs every experiment of
+// the iGuard evaluation: Fig. 2/7 (path-length overlap), Fig. 5/8 (CPU
+// detection), Fig. 6/9 (switch detection), Table 1 (switch resources),
+// Tables 2/3 (adversarial attacks), Fig. 10 (guidance candidates), the
+// §3.2.3 consistency check, and the App. B throughput/latency and
+// control-plane overhead studies. Each runner returns a typed result
+// with a text renderer that prints the same rows/series the paper
+// reports.
+package experiments
+
+import (
+	"time"
+
+	"iguard/internal/features"
+	"iguard/internal/mathx"
+	"iguard/internal/traffic"
+)
+
+// DataConfig sizes one attack's dataset, following the paper's
+// protocol: benign split into train/test (HorusEye division), train
+// further split 4:1 into train/validation, and 20% attack traffic added
+// to validation and test one attack at a time.
+type DataConfig struct {
+	// Seed drives every random choice in the build.
+	Seed int64
+	// BenignTrainFlows and BenignTestFlows size the benign traces.
+	BenignTrainFlows int
+	BenignTestFlows  int
+	// PktThreshold is n and Timeout is δ for flow truncation (§3.3.1).
+	PktThreshold int
+	Timeout      time.Duration
+	// AttackFraction is the attack share added to validation and test
+	// sets (0.2 in the paper).
+	AttackFraction float64
+}
+
+// DefaultDataConfig returns the sizes used by cmd/iguard-eval (large
+// enough for stable metrics, small enough to run everywhere).
+func DefaultDataConfig() DataConfig {
+	return DataConfig{
+		Seed:             1,
+		BenignTrainFlows: 500,
+		BenignTestFlows:  250,
+		PktThreshold:     16,
+		Timeout:          5 * time.Second,
+		AttackFraction:   0.2,
+	}
+}
+
+// Dataset is the feature-level view of one attack's experiment data.
+// All X matrices are min-max scaled with the scaler fitted on TrainX.
+type Dataset struct {
+	Attack traffic.AttackName
+
+	// TrainX is benign-only training data (what every model fits on).
+	TrainX [][]float64
+	// ValX/ValY hold the benign validation split plus 20% attack.
+	ValX [][]float64
+	ValY []int
+	// TestX/TestY hold benign test plus 20% attack.
+	TestX [][]float64
+	TestY []int
+
+	// PLTrainX holds PL feature vectors of benign early packets for the
+	// auxiliary PL iForest (§3.3.1); PLPrep scales them.
+	PLTrainX [][]float64
+
+	// Prep and PLPrep are the (log + min-max) feature pipelines fitted
+	// on the benign training split.
+	Prep   *features.Preprocess
+	PLPrep *features.Preprocess
+
+	// Traces for switch experiments: the benign validation/test traces
+	// merged with attack traces, plus the raw training trace. The
+	// validation trace drives the paper's best-version (n, δ) selection;
+	// the test trace produces the reported numbers.
+	TrainTrace *traffic.Trace
+	ValTrace   *traffic.Trace
+	TestTrace  *traffic.Trace
+
+	Cfg DataConfig
+}
+
+// flSamplesOf extracts FL vectors (and PL vectors of flow-first packets)
+// from a trace under the dataset's truncation parameters.
+func flSamplesOf(tr *traffic.Trace, cfg DataConfig) (fl [][]float64, pl [][]float64, mal []int) {
+	samples := features.ExtractAll(tr.Packets, cfg.PktThreshold, cfg.Timeout)
+	for _, s := range samples {
+		fl = append(fl, s.FL)
+		pl = append(pl, s.FirstPL)
+		label := 0
+		if tr.IsMalicious(s.Key) {
+			label = 1
+		}
+		mal = append(mal, label)
+	}
+	return fl, pl, mal
+}
+
+// BuildDataset assembles the full experiment dataset for one attack.
+// The attack trace is sized so its samples are AttackFraction of each
+// evaluation split.
+func BuildDataset(attack traffic.AttackName, cfg DataConfig) (*Dataset, error) {
+	r := mathx.NewRand(cfg.Seed)
+	ds := &Dataset{Attack: attack, Cfg: cfg}
+
+	benignTrain := traffic.GenerateBenign(cfg.Seed+100, cfg.BenignTrainFlows)
+	benignTest := traffic.GenerateBenign(cfg.Seed+200, cfg.BenignTestFlows)
+
+	trainFL, trainPL, _ := flSamplesOf(benignTrain, cfg)
+	testFL, _, _ := flSamplesOf(benignTest, cfg)
+
+	// 4:1 train/validation split of the benign training samples.
+	idx := mathx.SampleWithoutReplacement(r, len(trainFL), len(trainFL))
+	cut := len(idx) * 4 / 5
+	var trX, valBenign [][]float64
+	var plTr [][]float64
+	for i, j := range idx {
+		if i < cut {
+			trX = append(trX, trainFL[j])
+			plTr = append(plTr, trainPL[j])
+		} else {
+			valBenign = append(valBenign, trainFL[j])
+		}
+	}
+
+	// Attack samples for validation and test: generate enough flows that
+	// each split gets its ~20% share.
+	frac := cfg.AttackFraction
+	wantVal := int(frac * float64(len(valBenign)) / (1 - frac))
+	wantTest := int(frac * float64(len(testFL)) / (1 - frac))
+	if wantVal < 4 {
+		wantVal = 4
+	}
+	if wantTest < 8 {
+		wantTest = 8
+	}
+	attackVal, err := traffic.GenerateAttack(attack, cfg.Seed+300, wantVal)
+	if err != nil {
+		return nil, err
+	}
+	attackTest, err := traffic.GenerateAttack(attack, cfg.Seed+400, wantTest)
+	if err != nil {
+		return nil, err
+	}
+	valAttackFL, _, _ := flSamplesOf(attackVal, cfg)
+	testAttackFL, _, _ := flSamplesOf(attackTest, cfg)
+	valAttackFL = capSamples(valAttackFL, wantVal)
+	testAttackFL = capSamples(testAttackFL, wantTest)
+
+	// Scale everything with the train-fitted pipelines.
+	ds.Prep = features.NewFLPreprocess()
+	ds.TrainX = ds.Prep.FitTransform(trX)
+	ds.PLPrep = features.NewPLPreprocess()
+	ds.PLTrainX = ds.PLPrep.FitTransform(plTr)
+
+	for _, x := range valBenign {
+		ds.ValX = append(ds.ValX, ds.Prep.Transform(x))
+		ds.ValY = append(ds.ValY, 0)
+	}
+	for _, x := range valAttackFL {
+		ds.ValX = append(ds.ValX, ds.Prep.Transform(x))
+		ds.ValY = append(ds.ValY, 1)
+	}
+	for _, x := range testFL {
+		ds.TestX = append(ds.TestX, ds.Prep.Transform(x))
+		ds.TestY = append(ds.TestY, 0)
+	}
+	for _, x := range testAttackFL {
+		ds.TestX = append(ds.TestX, ds.Prep.Transform(x))
+		ds.TestY = append(ds.TestY, 1)
+	}
+
+	ds.TrainTrace = benignTrain
+	ds.TestTrace = benignTest.Merge(attackTest)
+	benignVal := traffic.GenerateBenign(cfg.Seed+150, cfg.BenignTestFlows/2+1)
+	ds.ValTrace = benignVal.Merge(attackVal)
+	return ds, nil
+}
+
+// capSamples bounds a sample list (attack generators can overshoot for
+// scan-type attacks that spawn many flows).
+func capSamples(xs [][]float64, n int) [][]float64 {
+	if len(xs) > n {
+		return xs[:n]
+	}
+	return xs
+}
+
+// AttackShare returns the malicious fraction of the test set (should
+// sit near cfg.AttackFraction).
+func (ds *Dataset) AttackShare() float64 {
+	if len(ds.TestY) == 0 {
+		return 0
+	}
+	n := 0
+	for _, y := range ds.TestY {
+		n += y
+	}
+	return float64(n) / float64(len(ds.TestY))
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"iguard/internal/features"
+	"iguard/internal/rules"
+)
+
+// Model-space universe for rule generation: training data scales to
+// [0, 1], so this box comfortably contains every tree's bounds while
+// leaving the region beyond it default-malicious.
+const (
+	universeLo = -0.25
+	universeHi = 1.75
+)
+
+// buildRules generates and compiles the whitelist rule sets for the
+// iGuard forest, the switch-scale conventional iForest, and the
+// early-packet PL iForest.
+func (l *Lab) buildRules(ctx *AttackContext) error {
+	cfg := l.Cfg
+	genOpts := rules.GenOptions{MaxCells: cfg.MaxCells}
+
+	// iGuard FL rules from the distilled forest, with boundary leaves
+	// extended to the full universe so rules agree with forest routing
+	// everywhere. The vote-aware generator short-circuits cells whose
+	// majority is already decided.
+	universe := rules.FullBox(features.FLDim, universeLo, universeHi)
+	guardLeaves := make([][]rules.Box, len(ctx.Guard.Trees))
+	guardLabels := make([][]int, len(ctx.Guard.Trees))
+	for ti := range ctx.Guard.Trees {
+		guardLeaves[ti], guardLabels[ti] = ctx.Guard.LabelledLeafRegionsWithin(ti, universe)
+	}
+	guardRules, err := rules.GenerateVoted(universe, guardLeaves, guardLabels, genOpts)
+	if err != nil {
+		return fmt.Errorf("experiments: iGuard rules: %w", err)
+	}
+	ctx.GuardRules = guardRules
+
+	// Conventional iForest rules (the HorusEye-style baseline
+	// deployment): same mechanism, labels from the score threshold.
+	ifLeaves := make([][]rules.Box, len(ctx.SwitchIForest.Trees))
+	for ti := range ctx.SwitchIForest.Trees {
+		ifLeaves[ti] = ctx.SwitchIForest.LeafRegionsWithin(ti, universe)
+	}
+	ifRules, err := rules.Generate(universe, ifLeaves, ctx.SwitchIForest.Predict, genOpts)
+	if err != nil {
+		return fmt.Errorf("experiments: iForest rules: %w", err)
+	}
+	ctx.IFRules = ifRules
+
+	// PL rules for early packets (merged into both deployments, §3.3.1).
+	plUniverse := rules.FullBox(features.PLDim, universeLo, universeHi)
+	plLeaves := make([][]rules.Box, len(ctx.PLIForest.Trees))
+	for ti := range ctx.PLIForest.Trees {
+		plLeaves[ti] = ctx.PLIForest.LeafRegionsWithin(ti, plUniverse)
+	}
+	plRules, err := rules.Generate(plUniverse, plLeaves, ctx.PLIForest.Predict, genOpts)
+	if err != nil {
+		return fmt.Errorf("experiments: PL rules: %w", err)
+	}
+	ctx.PLRules = plRules
+
+	// Compile to the raw switch domain.
+	ctx.GuardCompiled = CompileRaw(guardRules, ctx.Data.Prep, cfg.QuantBits)
+	ctx.IFCompiled = CompileRaw(ifRules, ctx.Data.Prep, cfg.QuantBits)
+	ctx.PLCompiled = CompileRaw(plRules, ctx.Data.PLPrep, cfg.QuantBits)
+	return nil
+}
+
+// CompileRaw maps a model-space rule set back to raw feature units via
+// the preprocessor (per-feature monotone, so boxes map to boxes) and
+// quantises it for TCAM installation. The quantiser spans the raw
+// training range with linear margins; rule edges beyond the quantiser
+// clamp to the edge codes, matching the forest's routing semantics
+// (boundary leaves extend outward). Constant features (zero training
+// span) carry no information: their intervals widen to the full
+// quantised range.
+func CompileRaw(rs *rules.RuleSet, prep *features.Preprocess, bits int) *rules.CompiledRuleSet {
+	dim := rs.Dim
+	rawMin := make([]float64, dim)
+	rawMax := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		span := prep.RawMax[i] - prep.RawMin[i]
+		if span <= 0 {
+			rawMin[i] = prep.RawMin[i] - 1
+			rawMax[i] = prep.RawMin[i] + 1
+			continue
+		}
+		// Quartile of margin below (many features are bounded at 0
+		// anyway), a couple of spans above for attack headroom.
+		rawMin[i] = prep.RawMin[i] - 0.25*span
+		rawMax[i] = prep.RawMax[i] + 2*span
+	}
+	raw := &rules.RuleSet{Dim: dim, DefaultLabel: rs.DefaultLabel}
+	for _, r := range rs.Rules {
+		box := make(rules.Box, dim)
+		for i, iv := range r.Box {
+			span := prep.RawMax[i] - prep.RawMin[i]
+			if span <= 0 {
+				box[i] = rules.Interval{Lo: rawMin[i], Hi: rawMax[i]}
+				continue
+			}
+			box[i] = rules.Interval{
+				Lo: prep.InverseEdge(i, iv.Lo),
+				Hi: prep.InverseEdge(i, iv.Hi),
+			}
+		}
+		raw.Rules = append(raw.Rules, rules.Rule{Box: box, Label: r.Label})
+	}
+	q := rules.NewQuantizer(rawMin, rawMax, bits)
+	return rules.Compile(raw, q)
+}

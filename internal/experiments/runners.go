@@ -1,0 +1,827 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"iguard/internal/autoencoder"
+	"iguard/internal/baseline"
+	"iguard/internal/controller"
+	"iguard/internal/core"
+	"iguard/internal/features"
+	"iguard/internal/iforest"
+	"iguard/internal/mathx"
+	"iguard/internal/metrics"
+	"iguard/internal/rules"
+	"iguard/internal/switchsim"
+	"iguard/internal/traffic"
+)
+
+// evalWithValThreshold tunes the decision threshold on validation
+// scores (the paper's grid-search on the validation set) and evaluates
+// on test.
+func evalWithValThreshold(valScores []float64, valY []int, testScores []float64, testY []int) metrics.Summary {
+	thr, _ := metrics.BestF1Threshold(valScores, valY)
+	preds := make([]int, len(testScores))
+	for i, s := range testScores {
+		if s >= thr {
+			preds[i] = 1
+		}
+	}
+	return metrics.Evaluate(testScores, preds, testY)
+}
+
+func scoreAll(score func([]float64) float64, x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = score(row)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// E1 — Fig. 2 / Fig. 7: expected-path-length overlap.
+// ---------------------------------------------------------------------
+
+// Fig2Row is one attack's path-length study.
+type Fig2Row struct {
+	Attack        traffic.AttackName
+	BenignPaths   []float64
+	AttackPaths   []float64
+	Overlap       float64 // histogram overlap coefficient in [0, 1]
+	BenignCounts  []int
+	AttackCounts  []int
+	HistogramEdge []float64
+}
+
+// Fig2Result aggregates the path-length study.
+type Fig2Result struct{ Rows []Fig2Row }
+
+// RunFig2 trains a conventional iForest per attack and records the
+// expected path lengths of benign and malicious test samples.
+func (l *Lab) RunFig2(attacks []traffic.AttackName) (*Fig2Result, error) {
+	res := &Fig2Result{}
+	for _, a := range attacks {
+		ctx, err := l.CPUContext(a)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig2Row{Attack: a}
+		for i, x := range ctx.Data.TestX {
+			pl := ctx.CPUIForest.ExpectedPathLength(x)
+			if ctx.Data.TestY[i] == 1 {
+				row.AttackPaths = append(row.AttackPaths, pl)
+			} else {
+				row.BenignPaths = append(row.BenignPaths, pl)
+			}
+		}
+		row.Overlap = mathx.OverlapCoefficient(row.BenignPaths, row.AttackPaths, 24)
+		lo1, hi1 := mathx.MinMax(row.BenignPaths)
+		lo2, hi2 := mathx.MinMax(row.AttackPaths)
+		lo, hi := minF(lo1, lo2), maxF(hi1, hi2)
+		row.BenignCounts, row.HistogramEdge = mathx.Histogram(row.BenignPaths, 24, lo, hi)
+		row.AttackCounts, _ = mathx.Histogram(row.AttackPaths, 24, lo, hi)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders per-attack overlap plus ASCII histograms.
+func (r *Fig2Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 2/7 — expected path length distributions (conventional iForest)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "\n%s: overlap coefficient %.2f (benign n=%d, malicious n=%d)\n",
+			row.Attack, row.Overlap, len(row.BenignPaths), len(row.AttackPaths))
+		sb.WriteString(asciiHist("benign   ", row.BenignCounts))
+		sb.WriteString(asciiHist("malicious", row.AttackCounts))
+	}
+	return sb.String()
+}
+
+func asciiHist(label string, counts []int) string {
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "  %s |", label)
+	glyphs := []rune(" .:-=+*#%@")
+	for _, c := range counts {
+		idx := c * (len(glyphs) - 1) / max
+		sb.WriteRune(glyphs[idx])
+	}
+	sb.WriteString("|\n")
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------
+// E2 — Fig. 5 / Fig. 8: CPU detection comparison.
+// ---------------------------------------------------------------------
+
+// Fig5Row holds one attack's three-model comparison.
+type Fig5Row struct {
+	Attack    traffic.AttackName
+	IForest   metrics.Summary
+	Magnifier metrics.Summary
+	IGuard    metrics.Summary
+}
+
+// Fig5Result aggregates the CPU comparison.
+type Fig5Result struct{ Rows []Fig5Row }
+
+// RunFig5 compares iForest, the Magnifier ensemble, and iGuard on the
+// feature-level (CPU) test sets.
+func (l *Lab) RunFig5(attacks []traffic.AttackName) (*Fig5Result, error) {
+	res := &Fig5Result{}
+	for _, a := range attacks {
+		ctx, err := l.CPUContext(a)
+		if err != nil {
+			return nil, err
+		}
+		ds := ctx.Data
+		row := Fig5Row{Attack: a}
+
+		ifScores := scoreAll(ctx.CPUIForest.Score, ds.TestX)
+		ifPreds := make([]int, len(ds.TestX))
+		for i, x := range ds.TestX {
+			ifPreds[i] = ctx.CPUIForest.Predict(x)
+		}
+		row.IForest = metrics.Evaluate(ifScores, ifPreds, ds.TestY)
+
+		magVal := scoreAll(ctx.Ensemble.Score, ds.ValX)
+		magTest := scoreAll(ctx.Ensemble.Score, ds.TestX)
+		row.Magnifier = evalWithValThreshold(magVal, ds.ValY, magTest, ds.TestY)
+
+		gScores := scoreAll(ctx.Guard.Score, ds.TestX)
+		gPreds := make([]int, len(ds.TestX))
+		for i, x := range ds.TestX {
+			gPreds[i] = ctx.Guard.Predict(x)
+		}
+		row.IGuard = metrics.Evaluate(gScores, gPreds, ds.TestY)
+
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the Fig. 5 comparison table.
+func (r *Fig5Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 5/8 — CPU detection (macro F1 / PRAUC / ROCAUC)\n")
+	fmt.Fprintf(&sb, "%-22s %-26s %-26s %-26s\n", "attack", "iForest", "Magnifier", "iGuard")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-22s %-26s %-26s %-26s\n", row.Attack,
+			cell3(row.IForest), cell3(row.Magnifier), cell3(row.IGuard))
+	}
+	return sb.String()
+}
+
+func cell3(s metrics.Summary) string {
+	return fmt.Sprintf("%.3f/%.3f/%.3f", s.MacroF1, s.PRAUC, s.ROCAUC)
+}
+
+// ---------------------------------------------------------------------
+// E3 — Fig. 6 / Fig. 9: switch (testbed) detection comparison.
+// ---------------------------------------------------------------------
+
+// SwitchRun is the outcome of replaying a trace through one deployed
+// rule set.
+type SwitchRun struct {
+	Summary  metrics.Summary
+	Counters switchsim.Counters
+	Usage    switchsim.Usage
+	Report   switchsim.Report
+	Latency  time.Duration
+	Reward   float64
+	// ChosenN is the packet-count threshold the best-version search
+	// selected for this run.
+	ChosenN int
+	// RuleCount / TCAMEntries describe the installed FL whitelist.
+	RuleCount   int
+	TCAMEntries int
+}
+
+// Fig6Row compares both deployments on one attack.
+type Fig6Row struct {
+	Attack  traffic.AttackName
+	IForest SwitchRun
+	IGuard  SwitchRun
+}
+
+// Fig6Result aggregates the switch comparison.
+type Fig6Result struct{ Rows []Fig6Row }
+
+// replay installs the rule set on a fresh simulated switch with a
+// controller attached, replays the given trace, and computes per-packet
+// metrics against ground truth.
+func (l *Lab) replay(ctx *AttackContext, fl *rules.CompiledRuleSet, trace *traffic.Trace) SwitchRun {
+	cfg := l.Cfg
+	sw := switchsim.New(switchsim.Config{
+		Slots:             cfg.SwitchSlots,
+		PktThreshold:      ctx.Data.Cfg.PktThreshold,
+		Timeout:           ctx.Data.Cfg.Timeout,
+		PLRules:           ctx.PLCompiled,
+		FLRules:           fl,
+		BlacklistCapacity: cfg.BlacklistCap,
+		DropMalicious:     true,
+	})
+	ctrl := controller.New(sw, cfg.BlacklistCap, controller.LRU)
+	sw.SetSink(ctrl)
+
+	preds := make([]int, 0, len(trace.Packets))
+	truths := make([]int, 0, len(trace.Packets))
+	scores := make([]float64, 0, len(trace.Packets))
+	for i := range trace.Packets {
+		p := &trace.Packets[i]
+		d := sw.ProcessPacket(p)
+		preds = append(preds, d.Predicted)
+		scores = append(scores, float64(d.Predicted))
+		label := 0
+		if trace.IsMalicious(features.KeyOf(p)) {
+			label = 1
+		}
+		truths = append(truths, label)
+	}
+	usage := sw.Usage()
+	report := usage.Fractions(switchsim.Tofino1Budget())
+	summary := metrics.Evaluate(scores, preds, truths)
+	return SwitchRun{
+		Summary:     summary,
+		Counters:    sw.Counters,
+		Usage:       usage,
+		Report:      report,
+		Latency:     sw.AvgLatency(),
+		Reward:      metrics.Reward(0.5, summary, report.Rho()),
+		ChosenN:     ctx.Data.Cfg.PktThreshold,
+		RuleCount:   len(fl.Rules),
+		TCAMEntries: fl.TotalEntries,
+	}
+}
+
+// gridNs returns the threshold grid (falling back to the default n).
+func (l *Lab) gridNs() []int {
+	if len(l.Cfg.GridN) > 0 {
+		return l.Cfg.GridN
+	}
+	return []int{l.Cfg.Data.PktThreshold}
+}
+
+// bestRun performs the §4.2.1 best-version selection for one model:
+// every candidate n is deployed and scored on the validation trace with
+// the reward α/3(F1+PRAUC+ROCAUC)+(1−α)(1−ρ); the winner is then
+// replayed on the test trace.
+func (l *Lab) bestRun(attack traffic.AttackName, pick func(*AttackContext) *rules.CompiledRuleSet) (SwitchRun, error) {
+	bestReward := -1.0
+	var bestCtx *AttackContext
+	for _, n := range l.gridNs() {
+		ctx, err := l.ContextN(attack, n)
+		if err != nil {
+			return SwitchRun{}, err
+		}
+		run := l.replay(ctx, pick(ctx), ctx.Data.ValTrace)
+		if run.Reward > bestReward {
+			bestReward = run.Reward
+			bestCtx = ctx
+		}
+	}
+	return l.replay(bestCtx, pick(bestCtx), bestCtx.Data.TestTrace), nil
+}
+
+// RunFig6 compares the best-version iForest and iGuard deployments on
+// every attack's test trace.
+func (l *Lab) RunFig6(attacks []traffic.AttackName) (*Fig6Result, error) {
+	res := &Fig6Result{}
+	for _, a := range attacks {
+		ifRun, err := l.bestRun(a, func(c *AttackContext) *rules.CompiledRuleSet { return c.IFCompiled })
+		if err != nil {
+			return nil, err
+		}
+		igRun, err := l.bestRun(a, func(c *AttackContext) *rules.CompiledRuleSet { return c.GuardCompiled })
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig6Row{Attack: a, IForest: ifRun, IGuard: igRun})
+	}
+	return res, nil
+}
+
+// String renders the Fig. 6 table.
+func (r *Fig6Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 6/9 — switch detection, per-packet metrics (macro F1 / PRAUC / ROCAUC)\n")
+	fmt.Fprintf(&sb, "%-22s %-30s %-30s %10s\n", "attack", "iForest (switch)", "iGuard (switch)", "ΔF1")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-22s %-30s %-30s %+9.1f%%\n", row.Attack,
+			cell3(row.IForest.Summary)+fmt.Sprintf(" n=%d", row.IForest.ChosenN),
+			cell3(row.IGuard.Summary)+fmt.Sprintf(" n=%d", row.IGuard.ChosenN),
+			100*(row.IGuard.Summary.MacroF1-row.IForest.Summary.MacroF1))
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------
+// E4 — Table 1: switch resource consumption.
+// ---------------------------------------------------------------------
+
+// Table1Result holds average resource fractions across attacks.
+type Table1Result struct {
+	IForest switchsim.Report
+	IGuard  switchsim.Report
+	// Rule-count averages explain the TCAM delta.
+	IForestRules float64
+	IGuardRules  float64
+}
+
+// RunTable1 averages resource reports of the best-version deployments
+// over the given attacks.
+func (l *Lab) RunTable1(attacks []traffic.AttackName) (*Table1Result, error) {
+	res := &Table1Result{}
+	n := 0
+	for _, a := range attacks {
+		ifRun, err := l.bestRun(a, func(c *AttackContext) *rules.CompiledRuleSet { return c.IFCompiled })
+		if err != nil {
+			return nil, err
+		}
+		igRun, err := l.bestRun(a, func(c *AttackContext) *rules.CompiledRuleSet { return c.GuardCompiled })
+		if err != nil {
+			return nil, err
+		}
+		res.IForest = addReports(res.IForest, ifRun.Report)
+		res.IGuard = addReports(res.IGuard, igRun.Report)
+		res.IForestRules += float64(ifRun.RuleCount)
+		res.IGuardRules += float64(igRun.RuleCount)
+		n++
+	}
+	if n > 0 {
+		res.IForest = scaleReport(res.IForest, 1/float64(n))
+		res.IGuard = scaleReport(res.IGuard, 1/float64(n))
+		res.IForestRules /= float64(n)
+		res.IGuardRules /= float64(n)
+	}
+	return res, nil
+}
+
+func addReports(a, b switchsim.Report) switchsim.Report {
+	return switchsim.Report{
+		TCAM: a.TCAM + b.TCAM, SRAM: a.SRAM + b.SRAM,
+		SALU: a.SALU + b.SALU, VLIW: a.VLIW + b.VLIW,
+		Stages: maxI(a.Stages, b.Stages),
+	}
+}
+
+func scaleReport(a switchsim.Report, f float64) switchsim.Report {
+	return switchsim.Report{TCAM: a.TCAM * f, SRAM: a.SRAM * f, SALU: a.SALU * f, VLIW: a.VLIW * f, Stages: a.Stages}
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders the Table 1 rows.
+func (r *Table1Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table 1 — average switch resource consumption across attacks\n")
+	fmt.Fprintf(&sb, "%-10s %9s %9s %9s %9s %7s %12s\n",
+		"model", "TCAM", "SRAM", "sALUs", "VLIWs", "stages", "rules")
+	fmt.Fprintf(&sb, "%-10s %8.2f%% %8.2f%% %8.2f%% %8.2f%% %7d %12.1f\n",
+		"iForest", 100*r.IForest.TCAM, 100*r.IForest.SRAM, 100*r.IForest.SALU, 100*r.IForest.VLIW, r.IForest.Stages, r.IForestRules)
+	fmt.Fprintf(&sb, "%-10s %8.2f%% %8.2f%% %8.2f%% %8.2f%% %7d %12.1f\n",
+		"iGuard", 100*r.IGuard.TCAM, 100*r.IGuard.SRAM, 100*r.IGuard.SALU, 100*r.IGuard.VLIW, r.IGuard.Stages, r.IGuardRules)
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------
+// E5 / E6 — Tables 2 and 3: adversarial attacks.
+// ---------------------------------------------------------------------
+
+// AdvCell is one adversarial scenario's two-model comparison.
+type AdvCell struct {
+	Scenario string
+	IForest  metrics.Summary
+	IGuard   metrics.Summary
+}
+
+// AdvResult aggregates adversarial scenarios.
+type AdvResult struct {
+	Title string
+	Cells []AdvCell
+}
+
+// evalOnTrace replays an arbitrary labelled trace through both switch
+// deployments of a context.
+func (l *Lab) evalOnTrace(ctx *AttackContext, tr *traffic.Trace) (ifSum, igSum metrics.Summary) {
+	return l.replay(ctx, ctx.IFCompiled, tr).Summary, l.replay(ctx, ctx.GuardCompiled, tr).Summary
+}
+
+// RunTable2 evaluates the low-rate and poisoning adversarial attacks.
+func (l *Lab) RunTable2() (*AdvResult, error) {
+	res := &AdvResult{Title: "Table 2 — low-rate and poisoning adversarial attacks"}
+
+	// Low-rate: the flood is diluted 100x; models stay trained on clean
+	// benign data.
+	for _, a := range []traffic.AttackName{traffic.UDPDDoS, traffic.TCPDDoS} {
+		ctx, err := l.Context(a)
+		if err != nil {
+			return nil, err
+		}
+		atk := traffic.MustGenerateAttack(a, l.Cfg.Data.Seed+500, 24)
+		slow := traffic.LowRate(atk, 100)
+		benign := traffic.GenerateBenign(l.Cfg.Data.Seed+501, l.Cfg.Data.BenignTestFlows)
+		tr := benign.Merge(slow)
+		ifSum, igSum := l.evalOnTrace(ctx, tr)
+		res.Cells = append(res.Cells, AdvCell{
+			Scenario: fmt.Sprintf("Low rate (%s 1/100)", a),
+			IForest:  ifSum, IGuard: igSum,
+		})
+	}
+
+	// Poisoning: x% attack flows contaminate the benign training trace;
+	// the whole pipeline retrains on the poisoned data.
+	for _, fracPct := range []int{2, 10} {
+		cell, err := l.runPoison(traffic.Mirai, float64(fracPct)/100)
+		if err != nil {
+			return nil, err
+		}
+		cell.Scenario = fmt.Sprintf("Poison (Mirai %d%%)", fracPct)
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+// runPoison retrains both models on a poisoned benign trace and
+// evaluates on a clean Mirai test trace.
+func (l *Lab) runPoison(attack traffic.AttackName, frac float64) (AdvCell, error) {
+	cfg := l.Cfg
+	cfg.Data.Seed += 7000 // disjoint seeds for the poisoned world
+	poisonSrc := traffic.MustGenerateAttack(attack, cfg.Data.Seed+1, 200)
+	benignTrain := traffic.GenerateBenign(cfg.Data.Seed+2, cfg.Data.BenignTrainFlows)
+	poisoned := traffic.Poison(benignTrain, poisonSrc, frac, cfg.Data.Seed+3)
+
+	lab := NewLab(cfg)
+	ctx, err := lab.Context(attack)
+	if err != nil {
+		return AdvCell{}, err
+	}
+	// Rebuild the training features from the poisoned trace and refit
+	// everything the training pipeline would refit.
+	fl, _, _ := flSamplesOf(poisoned, cfg.Data)
+	prep := features.NewFLPreprocess()
+	trainX := prep.FitTransform(fl)
+
+	r := mathx.NewRand(cfg.Data.Seed + 4)
+	ens := autoencoder.NewEnsemble(
+		autoencoder.NewMagnifier(r, features.FLDim),
+		autoencoder.NewSymmetric(r, features.FLDim),
+	)
+	ens.Fit(trainX, autoencoder.TrainOptions{Epochs: cfg.AEEpochs, BatchSize: cfg.AEBatch, LR: cfg.AELR, Rand: mathx.NewRand(cfg.Data.Seed + 5)})
+	ens.Calibrate(trainX, cfg.CalibQuantile)
+
+	guardOpts := cfg.GuardOpts
+	guardOpts.Seed = cfg.Data.Seed + 6
+	guard, err := core.Fit(trainX, ens, guardOpts)
+	if err != nil {
+		return AdvCell{}, err
+	}
+	swOpts := cfg.SwitchIForestOpts
+	swOpts.Seed = cfg.Data.Seed + 7
+	swIF := iforest.Fit(trainX, swOpts)
+	swIF.CalibrateThreshold(trainX, cfg.Contamination)
+
+	// Compile both poisoned models to rules over the poisoned pipeline.
+	poisonedCtx := &AttackContext{Data: &Dataset{Prep: prep, PLPrep: ctx.Data.PLPrep, Cfg: cfg.Data}, Guard: guard, SwitchIForest: swIF, PLIForest: ctx.PLIForest}
+	if err := lab.buildRules(poisonedCtx); err != nil {
+		return AdvCell{}, err
+	}
+	poisonedCtx.PLCompiled = ctx.PLCompiled
+
+	benignTest := traffic.GenerateBenign(cfg.Data.Seed+8, cfg.Data.BenignTestFlows)
+	atkTest := traffic.MustGenerateAttack(attack, cfg.Data.Seed+9, 40)
+	tr := benignTest.Merge(atkTest)
+	poisonedCtx.Data.TestTrace = tr
+
+	ifRun := lab.replay(poisonedCtx, poisonedCtx.IFCompiled, tr)
+	igRun := lab.replay(poisonedCtx, poisonedCtx.GuardCompiled, tr)
+	return AdvCell{IForest: ifRun.Summary, IGuard: igRun.Summary}, nil
+}
+
+// RunTable3 evaluates the benign-interleaving evasion attacks.
+func (l *Lab) RunTable3() (*AdvResult, error) {
+	res := &AdvResult{Title: "Table 3 — black-box evasion attacks (benign packets interleaved)"}
+	for _, a := range []traffic.AttackName{traffic.UDPDDoS, traffic.TCPDDoS} {
+		for _, ratio := range []struct {
+			name string
+			bpa  float64
+		}{{"1:2", 0.5}, {"1:4", 0.25}} {
+			ctx, err := l.Context(a)
+			if err != nil {
+				return nil, err
+			}
+			atk := traffic.MustGenerateAttack(a, l.Cfg.Data.Seed+600, 24)
+			evaded := traffic.Evade(atk, ratio.bpa, l.Cfg.Data.Seed+601)
+			benign := traffic.GenerateBenign(l.Cfg.Data.Seed+602, l.Cfg.Data.BenignTestFlows)
+			tr := benign.Merge(evaded)
+			ifSum, igSum := l.evalOnTrace(ctx, tr)
+			res.Cells = append(res.Cells, AdvCell{
+				Scenario: fmt.Sprintf("Evasion (%s %s)", a, ratio.name),
+				IForest:  ifSum, IGuard: igSum,
+			})
+		}
+	}
+	return res, nil
+}
+
+// String renders an adversarial table in the paper's
+// F1/ROCAUC/PRAUC percent style.
+func (r *AdvResult) String() string {
+	var sb strings.Builder
+	sb.WriteString(r.Title + "\n")
+	fmt.Fprintf(&sb, "%-28s %-26s %-26s\n", "scenario", "iForest", "iGuard")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&sb, "%-28s %-26s %-26s\n", c.Scenario, c.IForest.String(), c.IGuard.String())
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------
+// E7 — Fig. 10: guidance-candidate comparison.
+// ---------------------------------------------------------------------
+
+// Fig10Row is one attack's candidate panel (macro F1 per model).
+type Fig10Row struct {
+	Attack traffic.AttackName
+	Scores map[string]float64
+}
+
+// Fig10Models lists the candidate panel in presentation order.
+var Fig10Models = []string{"kNN", "PCA", "iForest", "X-means", "VAE", "Magnifier"}
+
+// Fig10Result aggregates the candidate study.
+type Fig10Result struct {
+	Rows    []Fig10Row
+	Average map[string]float64
+}
+
+// RunFig10 trains each candidate on the benign training set and scores
+// the attack test set, tuning thresholds on validation.
+func (l *Lab) RunFig10(attacks []traffic.AttackName) (*Fig10Result, error) {
+	res := &Fig10Result{Average: map[string]float64{}}
+	for _, a := range attacks {
+		ctx, err := l.CPUContext(a)
+		if err != nil {
+			return nil, err
+		}
+		ds := ctx.Data
+		row := Fig10Row{Attack: a, Scores: map[string]float64{}}
+
+		eval := func(name string, score func([]float64) float64) {
+			val := scoreAll(score, ds.ValX)
+			test := scoreAll(score, ds.TestX)
+			s := evalWithValThreshold(val, ds.ValY, test, ds.TestY)
+			row.Scores[name] = s.MacroF1
+			res.Average[name] += s.MacroF1
+		}
+
+		knn := baseline.NewKNN(5)
+		knn.Fit(ds.TrainX)
+		eval("kNN", knn.Score)
+
+		pca := baseline.NewPCA(4)
+		pca.Fit(ds.TrainX)
+		eval("PCA", pca.Score)
+
+		eval("iForest", ctx.CPUIForest.Score)
+
+		xm := baseline.NewXMeans(8)
+		xm.Fit(ds.TrainX)
+		eval("X-means", xm.Score)
+
+		r := mathx.NewRand(l.Cfg.Data.Seed + 4000)
+		vae := autoencoder.NewVAE(r, features.FLDim, 3)
+		vae.Fit(ds.TrainX, autoencoder.TrainOptions{Epochs: l.Cfg.AEEpochs, BatchSize: l.Cfg.AEBatch, LR: l.Cfg.AELR, Rand: mathx.NewRand(l.Cfg.Data.Seed + 4001)})
+		eval("VAE", vae.ReconstructionError)
+
+		mag := autoencoder.NewMagnifier(mathx.NewRand(l.Cfg.Data.Seed+4002), features.FLDim)
+		mag.Fit(ds.TrainX, autoencoder.TrainOptions{Epochs: l.Cfg.AEEpochs, BatchSize: l.Cfg.AEBatch, LR: l.Cfg.AELR, Rand: mathx.NewRand(l.Cfg.Data.Seed + 4003)})
+		eval("Magnifier", mag.ReconstructionError)
+
+		res.Rows = append(res.Rows, row)
+	}
+	for k := range res.Average {
+		res.Average[k] /= float64(len(attacks))
+	}
+	return res, nil
+}
+
+// String renders the Fig. 10 panel.
+func (r *Fig10Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 10 — macro F1 of guidance candidates\n")
+	fmt.Fprintf(&sb, "%-22s", "attack")
+	for _, m := range Fig10Models {
+		fmt.Fprintf(&sb, " %9s", m)
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-22s", row.Attack)
+		for _, m := range Fig10Models {
+			fmt.Fprintf(&sb, " %9.3f", row.Scores[m])
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%-22s", "Average")
+	for _, m := range Fig10Models {
+		fmt.Fprintf(&sb, " %9.3f", r.Average[m])
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------
+// E8 — §3.2.3 consistency.
+// ---------------------------------------------------------------------
+
+// ConsistencyRow is one attack's rule-fidelity measurement.
+type ConsistencyRow struct {
+	Attack traffic.AttackName
+	C      float64
+	Rules  int
+}
+
+// ConsistencyResult aggregates rule fidelity.
+type ConsistencyResult struct {
+	Rows []ConsistencyRow
+	Mean float64
+}
+
+// RunConsistency measures C = (1/N)Σ1{forest(x)=rules(x)} on the test
+// samples, per attack.
+func (l *Lab) RunConsistency(attacks []traffic.AttackName) (*ConsistencyResult, error) {
+	res := &ConsistencyResult{}
+	for _, a := range attacks {
+		ctx, err := l.CPUContext(a)
+		if err != nil {
+			return nil, err
+		}
+		c := rules.Consistency(ctx.GuardRules, ctx.Guard.Predict, ctx.Data.TestX)
+		res.Rows = append(res.Rows, ConsistencyRow{Attack: a, C: c, Rules: ctx.GuardRules.Len()})
+		res.Mean += c
+	}
+	if len(res.Rows) > 0 {
+		res.Mean /= float64(len(res.Rows))
+	}
+	return res, nil
+}
+
+// String renders the consistency study.
+func (r *ConsistencyResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("§3.2.3 — whitelist-rule consistency C vs distilled iForest\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-22s C = %.4f  (%d rules)\n", row.Attack, row.C, row.Rules)
+	}
+	fmt.Fprintf(&sb, "%-22s C = %.4f\n", "Average", r.Mean)
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------
+// E9 — App. B.1: throughput and latency.
+// ---------------------------------------------------------------------
+
+// AppB1Result models throughput on a 40 Gbps link: iGuard pays only
+// recirculation passes; a HorusEye-style design additionally detours
+// every classified flow's observation window through the control plane.
+type AppB1Result struct {
+	LinkGbps         float64
+	IGuardGbps       float64
+	HorusEyeGbps     float64
+	ImprovementPct   float64
+	AvgLatency       time.Duration
+	Packets          int
+	Recirculated     int
+	ControlPlanePkts int
+}
+
+// RunAppB1 replays every attack's test trace through the iGuard
+// deployment and aggregates the throughput model.
+func (l *Lab) RunAppB1(attacks []traffic.AttackName) (*AppB1Result, error) {
+	res := &AppB1Result{LinkGbps: 40}
+	var totalLatency time.Duration
+	n := 0
+	for _, a := range attacks {
+		ctx, err := l.Context(a)
+		if err != nil {
+			return nil, err
+		}
+		run := l.replay(ctx, ctx.GuardCompiled, ctx.Data.TestTrace)
+		res.Packets += run.Counters.Packets
+		res.Recirculated += run.Counters.Recirculated
+		// HorusEye-style control-plane detection must see the full
+		// observation window (n packets) of every classified flow.
+		res.ControlPlanePkts += run.Counters.Digests * ctx.Data.Cfg.PktThreshold
+		totalLatency += run.Latency
+		n++
+	}
+	if n > 0 {
+		res.AvgLatency = totalLatency / time.Duration(n)
+	}
+	if res.Packets > 0 {
+		passes := float64(res.Packets + res.Recirculated)
+		res.IGuardGbps = res.LinkGbps * float64(res.Packets) / passes
+		cpPasses := passes + float64(res.ControlPlanePkts)
+		res.HorusEyeGbps = res.LinkGbps * float64(res.Packets) / cpPasses
+		res.ImprovementPct = 100 * (res.IGuardGbps - res.HorusEyeGbps) / res.HorusEyeGbps
+	}
+	return res, nil
+}
+
+// String renders the App. B.1 study.
+func (r *AppB1Result) String() string {
+	return fmt.Sprintf(
+		"App. B.1 — throughput and latency on a %.0f Gbps link\n"+
+			"iGuard throughput:    %.1f Gbps (in-switch decisions; %d recirculations / %d packets)\n"+
+			"HorusEye-style:       %.1f Gbps (control-plane detour of %d packets)\n"+
+			"improvement:          %.1f%%\n"+
+			"avg per-packet latency: %v\n",
+		r.LinkGbps, r.IGuardGbps, r.Recirculated, r.Packets,
+		r.HorusEyeGbps, r.ControlPlanePkts, r.ImprovementPct, r.AvgLatency)
+}
+
+// ---------------------------------------------------------------------
+// E10 — App. B.2: control-plane overhead.
+// ---------------------------------------------------------------------
+
+// AppB2Result compares digest bandwidth: iGuard sends 13 B + 1 bit per
+// digest; FL-feature designs add ~52 B of features.
+type AppB2Result struct {
+	// Scenario of the paper: 50k digests per 30 s window.
+	DigestsPerWindow int
+	WindowSeconds    float64
+	IGuardKBps       float64
+	FLDigestKBps     float64
+	RatioX           float64
+	// Measured from the replayed traces.
+	MeasuredDigests int
+	MeasuredBytes   int
+}
+
+// iGuard digest payload: 13-byte 5-tuple + 1-bit label = 105 bits.
+const digestBits = 105
+
+// flExtraBytes is the extra feature payload of control-plane detection
+// designs ([4, 15]).
+const flExtraBytes = 52
+
+// RunAppB2 computes the B.2 bandwidth comparison and measures actual
+// digest volume from one replay.
+func (l *Lab) RunAppB2(attack traffic.AttackName) (*AppB2Result, error) {
+	res := &AppB2Result{DigestsPerWindow: 50000, WindowSeconds: 30}
+	perDigestBytes := float64(digestBits) / 8
+	res.IGuardKBps = float64(res.DigestsPerWindow) * perDigestBytes / res.WindowSeconds / 1000
+	res.FLDigestKBps = float64(res.DigestsPerWindow) * (perDigestBytes + flExtraBytes) / res.WindowSeconds / 1000
+	res.RatioX = res.FLDigestKBps / res.IGuardKBps
+
+	ctx, err := l.Context(attack)
+	if err != nil {
+		return nil, err
+	}
+	run := l.replay(ctx, ctx.GuardCompiled, ctx.Data.TestTrace)
+	res.MeasuredDigests = run.Counters.Digests
+	res.MeasuredBytes = run.Counters.DigestBytes
+	return res, nil
+}
+
+// String renders the App. B.2 study.
+func (r *AppB2Result) String() string {
+	return fmt.Sprintf(
+		"App. B.2 — control-plane overhead (%d digests / %.0f s window)\n"+
+			"iGuard digests (13 B 5-tuple + 1-bit label): %.1f KBps\n"+
+			"FL-feature digests (+%d B):                  %.1f KBps (%.1fx more)\n"+
+			"measured in replay: %d digests, %d bytes\n",
+		r.DigestsPerWindow, r.WindowSeconds, r.IGuardKBps,
+		flExtraBytes, r.FLDigestKBps, r.RatioX,
+		r.MeasuredDigests, r.MeasuredBytes)
+}

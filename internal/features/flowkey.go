@@ -1,0 +1,100 @@
+// Package features implements iGuard's feature substrate: bidirectional
+// 5-tuple flow keys with the bi-hash used for switch register indexing,
+// the 13 flow-level (FL) features the Tofino prototype extracts
+// (§4.2: packet count, total/average/std/variance/min/max packet size,
+// average/min/variance/std/max inter-packet delay, flow duration), the
+// 4 packet-level (PL) features used to classify early packets
+// (destination port, protocol, length, TTL), flow truncation at a
+// per-flow packet-count threshold n and idle timeout δ (§3.3.1), and
+// min-max feature scaling.
+package features
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"iguard/internal/netpkt"
+)
+
+// FlowKey is a directional 5-tuple.
+type FlowKey struct {
+	SrcIP   [4]byte
+	DstIP   [4]byte
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// KeyOf extracts the directional flow key of a packet.
+func KeyOf(p *netpkt.Packet) FlowKey {
+	return FlowKey{SrcIP: p.SrcIP, DstIP: p.DstIP, SrcPort: p.SrcPort, DstPort: p.DstPort, Proto: p.Proto}
+}
+
+// Reverse returns the key of the opposite direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{SrcIP: k.DstIP, DstIP: k.SrcIP, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
+}
+
+// Canonical returns the direction-independent form of the key: the
+// endpoint with the lower (IP, port) pair is placed first, so both
+// directions of a connection map to the same key — the effect the
+// bi-hash achieves in the switch.
+func (k FlowKey) Canonical() FlowKey {
+	if k.endpointLess() {
+		return k
+	}
+	return k.Reverse()
+}
+
+// endpointLess reports whether (SrcIP, SrcPort) <= (DstIP, DstPort).
+func (k FlowKey) endpointLess() bool {
+	src := binary.BigEndian.Uint32(k.SrcIP[:])
+	dst := binary.BigEndian.Uint32(k.DstIP[:])
+	if src != dst {
+		return src < dst
+	}
+	return k.SrcPort <= k.DstPort
+}
+
+// String renders the key for diagnostics.
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d>%d.%d.%d.%d:%d/%d",
+		k.SrcIP[0], k.SrcIP[1], k.SrcIP[2], k.SrcIP[3], k.SrcPort,
+		k.DstIP[0], k.DstIP[1], k.DstIP[2], k.DstIP[3], k.DstPort, k.Proto)
+}
+
+// Bytes serialises the key in the 13-byte digest layout the controller
+// receives (src IP, dst IP, src port, dst port, proto).
+func (k FlowKey) Bytes() [13]byte {
+	var b [13]byte
+	copy(b[0:4], k.SrcIP[:])
+	copy(b[4:8], k.DstIP[:])
+	binary.BigEndian.PutUint16(b[8:10], k.SrcPort)
+	binary.BigEndian.PutUint16(b[10:12], k.DstPort)
+	b[12] = k.Proto
+	return b
+}
+
+// BiHash implements HorusEye's bi-hash: a symmetric hash over the
+// canonicalised 5-tuple, so both flow directions index the same switch
+// register slot. seed lets the double-hash scheme derive its second
+// table index.
+func (k FlowKey) BiHash(seed uint32) uint32 {
+	c := k.Canonical()
+	h := fnv.New32a()
+	var sb [4]byte
+	binary.BigEndian.PutUint32(sb[:], seed)
+	h.Write(sb[:])
+	b := c.Bytes()
+	h.Write(b[:])
+	return h.Sum32()
+}
+
+// Index maps the bi-hash into a table of the given size.
+func (k FlowKey) Index(seed uint32, size int) int {
+	if size <= 0 {
+		return 0
+	}
+	return int(k.BiHash(seed) % uint32(size))
+}

@@ -1,0 +1,73 @@
+package features
+
+import "fmt"
+
+// Scaler performs min-max normalisation into [0, 1], fit on the benign
+// training set and applied everywhere else (the usual pre-processing
+// before autoencoder training).
+type Scaler struct {
+	Min []float64 `json:"min"`
+	Max []float64 `json:"max"`
+}
+
+// FitScaler learns per-feature minima and maxima from x.
+func FitScaler(x [][]float64) *Scaler {
+	if len(x) == 0 {
+		return &Scaler{}
+	}
+	dim := len(x[0])
+	s := &Scaler{Min: make([]float64, dim), Max: make([]float64, dim)}
+	copy(s.Min, x[0])
+	copy(s.Max, x[0])
+	for _, row := range x[1:] {
+		for j, v := range row {
+			if v < s.Min[j] {
+				s.Min[j] = v
+			}
+			if v > s.Max[j] {
+				s.Max[j] = v
+			}
+		}
+	}
+	return s
+}
+
+// Transform scales one vector into [0, 1] per feature; values outside
+// the fitted range extrapolate beyond [0, 1] deliberately so anomalies
+// remain distinguishable (clamping would erase their magnitude).
+func (s *Scaler) Transform(x []float64) []float64 {
+	if len(x) != len(s.Min) {
+		panic(fmt.Sprintf("features: scaler fitted on %d features, got %d", len(s.Min), len(x)))
+	}
+	out := make([]float64, len(x))
+	for j, v := range x {
+		span := s.Max[j] - s.Min[j]
+		if span <= 0 {
+			out[j] = 0
+			continue
+		}
+		out[j] = (v - s.Min[j]) / span
+	}
+	return out
+}
+
+// TransformAll scales a batch.
+func (s *Scaler) TransformAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = s.Transform(row)
+	}
+	return out
+}
+
+// Inverse maps a scaled vector back to raw feature units.
+func (s *Scaler) Inverse(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = s.Min[j] + v*(s.Max[j]-s.Min[j])
+	}
+	return out
+}
+
+// Dim returns the fitted feature count.
+func (s *Scaler) Dim() int { return len(s.Min) }

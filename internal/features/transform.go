@@ -1,0 +1,126 @@
+package features
+
+import (
+	"fmt"
+	"math"
+)
+
+// logEps keeps log10 defined at zero.
+const logEps = 1e-6
+
+// Preprocess is the model-side feature pipeline: an optional per-feature
+// log10 transform for heavy-tailed features (inter-packet delays span
+// microseconds to seconds; linear min-max scaling would squash the
+// microsecond structure floods live in), followed by min-max scaling.
+// Both steps are monotone per feature, so axis-aligned rule boxes in
+// model space map back to raw-feature boxes for switch installation.
+type Preprocess struct {
+	LogMask []bool
+	Scaler  *Scaler
+	// RawMin/RawMax record the raw-domain training range per feature
+	// (before the log), used when sizing switch quantisers.
+	RawMin, RawMax []float64
+}
+
+// NewFLPreprocess returns the preprocessor for the 13 FL features:
+// log10 on total size, the five IPD statistics and the duration.
+func NewFLPreprocess() *Preprocess {
+	mask := make([]bool, FLDim)
+	mask[FLTotalSize] = true
+	mask[FLAvgIPD] = true
+	mask[FLMinIPD] = true
+	mask[FLVarIPD] = true
+	mask[FLStdIPD] = true
+	mask[FLMaxIPD] = true
+	mask[FLDuration] = true
+	return &Preprocess{LogMask: mask}
+}
+
+// NewPLPreprocess returns the (purely linear) preprocessor for the 4 PL
+// features.
+func NewPLPreprocess() *Preprocess {
+	return &Preprocess{LogMask: make([]bool, PLDim)}
+}
+
+// forward applies the log step to one raw value of feature i.
+func (p *Preprocess) forward(i int, v float64) float64 {
+	if p.LogMask[i] {
+		if v < 0 {
+			v = 0
+		}
+		return math.Log10(v + logEps)
+	}
+	return v
+}
+
+// inverse undoes the log step.
+func (p *Preprocess) inverse(i int, v float64) float64 {
+	if p.LogMask[i] {
+		return math.Pow(10, v) - logEps
+	}
+	return v
+}
+
+// Fit learns the scaler from raw training vectors.
+func (p *Preprocess) Fit(raw [][]float64) {
+	if len(raw) == 0 {
+		p.Scaler = &Scaler{}
+		return
+	}
+	dim := len(raw[0])
+	if len(p.LogMask) != dim {
+		panic(fmt.Sprintf("features: preprocess mask has %d features, data has %d", len(p.LogMask), dim))
+	}
+	p.RawMin = make([]float64, dim)
+	p.RawMax = make([]float64, dim)
+	copy(p.RawMin, raw[0])
+	copy(p.RawMax, raw[0])
+	logged := make([][]float64, len(raw))
+	for r, row := range raw {
+		lr := make([]float64, dim)
+		for i, v := range row {
+			if v < p.RawMin[i] {
+				p.RawMin[i] = v
+			}
+			if v > p.RawMax[i] {
+				p.RawMax[i] = v
+			}
+			lr[i] = p.forward(i, v)
+		}
+		logged[r] = lr
+	}
+	p.Scaler = FitScaler(logged)
+}
+
+// Transform maps one raw vector into model space.
+func (p *Preprocess) Transform(raw []float64) []float64 {
+	logged := make([]float64, len(raw))
+	for i, v := range raw {
+		logged[i] = p.forward(i, v)
+	}
+	return p.Scaler.Transform(logged)
+}
+
+// TransformAll maps a batch.
+func (p *Preprocess) TransformAll(raw [][]float64) [][]float64 {
+	out := make([][]float64, len(raw))
+	for i, row := range raw {
+		out[i] = p.Transform(row)
+	}
+	return out
+}
+
+// FitTransform fits on raw and returns its transform.
+func (p *Preprocess) FitTransform(raw [][]float64) [][]float64 {
+	p.Fit(raw)
+	return p.TransformAll(raw)
+}
+
+// InverseEdge maps a model-space coordinate of feature i back to the
+// raw domain (monotone, so rule-box edges map to rule-box edges).
+func (p *Preprocess) InverseEdge(i int, v float64) float64 {
+	return p.inverse(i, p.Scaler.Min[i]+v*(p.Scaler.Max[i]-p.Scaler.Min[i]))
+}
+
+// Dim returns the fitted feature count.
+func (p *Preprocess) Dim() int { return len(p.LogMask) }

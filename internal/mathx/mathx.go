@@ -1,0 +1,256 @@
+// Package mathx provides the small numeric substrate shared by every
+// other package in the repository: summary statistics, histogramming,
+// and a deterministic random source.
+//
+// All randomness in the repository flows through *rand.Rand instances
+// created by NewRand so that every experiment is reproducible from its
+// seed alone.
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NewRand returns a deterministic random source for the given seed.
+// Every stochastic component in the repository takes one of these
+// rather than using the global source.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// MinMax returns the minimum and maximum of xs. It returns (0, 0) for an
+// empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks. xs need not be sorted. It returns
+// 0 for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted is Quantile for an already ascending-sorted slice.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// IQR returns the interquartile range (Q3 - Q1) of xs.
+func IQR(xs []float64) float64 {
+	return Quantile(xs, 0.75) - Quantile(xs, 0.25)
+}
+
+// Entropy2 returns the binary entropy -p·log2(p) - (1-p)·log2(1-p),
+// with the convention 0·log2(0) = 0 so that Entropy2(0) = Entropy2(1) = 0.
+func Entropy2(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ClampInt limits x to the closed interval [lo, hi].
+func ClampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ArgMax returns the index of the largest element of xs, or -1 for an
+// empty slice. Ties resolve to the earliest index.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// NormalSample draws one sample from N(mean, sd²) using r. A non-positive
+// sd returns mean exactly.
+func NormalSample(r *rand.Rand, mean, sd float64) float64 {
+	if sd <= 0 {
+		return mean
+	}
+	return mean + sd*r.NormFloat64()
+}
+
+// Histogram counts xs into bins equal-width bins spanning [min, max].
+// Values outside the range clamp to the first or last bin. It returns
+// the counts and the bin edges (len bins+1). bins must be >= 1.
+func Histogram(xs []float64, bins int, min, max float64) (counts []int, edges []float64) {
+	if bins < 1 {
+		bins = 1
+	}
+	counts = make([]int, bins)
+	edges = make([]float64, bins+1)
+	width := (max - min) / float64(bins)
+	if width <= 0 {
+		width = 1
+	}
+	for i := range edges {
+		edges[i] = min + float64(i)*width
+	}
+	for _, x := range xs {
+		b := int((x - min) / width)
+		b = ClampInt(b, 0, bins-1)
+		counts[b]++
+	}
+	return counts, edges
+}
+
+// OverlapCoefficient estimates the overlap between the empirical
+// distributions of a and b by histogramming both over their joint range
+// with the given number of bins and summing min(pa, pb) per bin. The
+// result is in [0, 1]: 0 means disjoint supports, 1 identical histograms.
+func OverlapCoefficient(a, b []float64, bins int) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	minA, maxA := MinMax(a)
+	minB, maxB := MinMax(b)
+	lo, hi := math.Min(minA, minB), math.Max(maxA, maxB)
+	ca, _ := Histogram(a, bins, lo, hi)
+	cb, _ := Histogram(b, bins, lo, hi)
+	sum := 0.0
+	for i := range ca {
+		pa := float64(ca[i]) / float64(len(a))
+		pb := float64(cb[i]) / float64(len(b))
+		sum += math.Min(pa, pb)
+	}
+	return sum
+}
+
+// Shuffle permutes xs in place using r.
+func Shuffle[T any](r *rand.Rand, xs []T) {
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly
+// from [0, n). When k >= n it returns all n indices. The result order is
+// random.
+func SampleWithoutReplacement(r *rand.Rand, n, k int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	Shuffle(r, idx)
+	if k > n {
+		k = n
+	}
+	return idx[:k]
+}
+
+// EuclideanDistance returns the L2 distance between a and b, which must
+// have equal length.
+func EuclideanDistance(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// RMSE returns the root-mean-square error between a and b, which must
+// have equal length. It returns 0 for empty inputs.
+func RMSE(a, b []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a)))
+}

@@ -1,0 +1,278 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{}, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{42}); got != 0 {
+		t.Errorf("Variance of singleton = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -2, 7, 0})
+	if min != -2 || max != 7 {
+		t.Errorf("MinMax = (%v, %v), want (-2, 7)", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Errorf("MinMax(nil) = (%v, %v), want (0, 0)", min, max)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-0.5, 1}, {1.5, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %v, want 0", got)
+	}
+	// Interpolation between ranks.
+	if got := Quantile([]float64{0, 10}, 0.5); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Quantile interpolated = %v, want 5", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("Quantile mutated its input: %v", xs)
+	}
+}
+
+func TestIQR(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := IQR(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("IQR = %v, want 2", got)
+	}
+}
+
+func TestEntropy2(t *testing.T) {
+	if got := Entropy2(0.5); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Entropy2(0.5) = %v, want 1", got)
+	}
+	if got := Entropy2(0); got != 0 {
+		t.Errorf("Entropy2(0) = %v, want 0", got)
+	}
+	if got := Entropy2(1); got != 0 {
+		t.Errorf("Entropy2(1) = %v, want 0", got)
+	}
+	// Symmetry property.
+	if a, b := Entropy2(0.2), Entropy2(0.8); !almostEqual(a, b, 1e-12) {
+		t.Errorf("Entropy2 not symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestEntropy2Properties(t *testing.T) {
+	f := func(p float64) bool {
+		p = math.Abs(math.Mod(p, 1))
+		e := Entropy2(p)
+		return e >= 0 && e <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 3); got != 3 {
+		t.Errorf("Clamp high = %v", got)
+	}
+	if got := Clamp(-5, 0, 3); got != 0 {
+		t.Errorf("Clamp low = %v", got)
+	}
+	if got := Clamp(2, 0, 3); got != 2 {
+		t.Errorf("Clamp mid = %v", got)
+	}
+	if got := ClampInt(7, 1, 5); got != 5 {
+		t.Errorf("ClampInt = %v", got)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if got := ArgMax([]float64{1, 5, 3}); got != 1 {
+		t.Errorf("ArgMax = %v, want 1", got)
+	}
+	if got := ArgMax(nil); got != -1 {
+		t.Errorf("ArgMax(nil) = %v, want -1", got)
+	}
+	// Ties resolve to earliest.
+	if got := ArgMax([]float64{2, 2}); got != 0 {
+		t.Errorf("ArgMax tie = %v, want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, edges := Histogram([]float64{0, 1, 2, 3, 4}, 5, 0, 5)
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("bin %d = %d, want 1", i, c)
+		}
+	}
+	if len(edges) != 6 {
+		t.Errorf("edges length = %d, want 6", len(edges))
+	}
+	// Out-of-range values clamp.
+	counts, _ = Histogram([]float64{-10, 10}, 2, 0, 1)
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Errorf("clamped counts = %v", counts)
+	}
+}
+
+func TestOverlapCoefficient(t *testing.T) {
+	a := []float64{0, 0.1, 0.2, 0.3}
+	b := []float64{10, 10.1, 10.2, 10.3}
+	if got := OverlapCoefficient(a, b, 20); got > 0.01 {
+		t.Errorf("disjoint overlap = %v, want ~0", got)
+	}
+	if got := OverlapCoefficient(a, a, 20); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("self overlap = %v, want 1", got)
+	}
+	if got := OverlapCoefficient(nil, a, 10); got != 0 {
+		t.Errorf("empty overlap = %v, want 0", got)
+	}
+}
+
+func TestNewRandDeterminism(t *testing.T) {
+	r1, r2 := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if r1.Float64() != r2.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestNormalSample(t *testing.T) {
+	r := NewRand(1)
+	if got := NormalSample(r, 3, 0); got != 3 {
+		t.Errorf("sd=0 sample = %v, want 3", got)
+	}
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = NormalSample(r, 5, 2)
+	}
+	if m := Mean(xs); math.Abs(m-5) > 0.1 {
+		t.Errorf("sample mean = %v, want ~5", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 0.1 {
+		t.Errorf("sample sd = %v, want ~2", s)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := NewRand(7)
+	got := SampleWithoutReplacement(r, 10, 5)
+	if len(got) != 5 {
+		t.Fatalf("len = %d, want 5", len(got))
+	}
+	seen := map[int]bool{}
+	for _, i := range got {
+		if i < 0 || i >= 10 {
+			t.Errorf("index %d out of range", i)
+		}
+		if seen[i] {
+			t.Errorf("duplicate index %d", i)
+		}
+		seen[i] = true
+	}
+	// k >= n returns everything.
+	all := SampleWithoutReplacement(r, 4, 10)
+	if len(all) != 4 {
+		t.Errorf("k>n len = %d, want 4", len(all))
+	}
+	sort.Ints(all)
+	for i, v := range all {
+		if v != i {
+			t.Errorf("k>n missing index %d", i)
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := NewRand(3)
+	xs := []int{1, 2, 3, 4, 5, 6}
+	orig := append([]int(nil), xs...)
+	Shuffle(r, xs)
+	sort.Ints(xs)
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatalf("shuffle lost elements: %v", xs)
+		}
+	}
+}
+
+func TestEuclideanDistance(t *testing.T) {
+	if got := EuclideanDistance([]float64{0, 0}, []float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("distance = %v, want 5", got)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Errorf("identical RMSE = %v, want 0", got)
+	}
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); !almostEqual(got, math.Sqrt(12.5), 1e-12) {
+		t.Errorf("RMSE = %v", got)
+	}
+	if got := RMSE(nil, nil); got != 0 {
+		t.Errorf("empty RMSE = %v, want 0", got)
+	}
+}
+
+func TestQuantileSortedMatchesQuantile(t *testing.T) {
+	f := func(raw []float64, q float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		q = math.Abs(math.Mod(q, 1))
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		return almostEqual(Quantile(raw, q), QuantileSorted(sorted, q), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package metrics implements the detection-quality metrics used in the
+// iGuard evaluation: macro F1 score, area under the precision-recall
+// curve (PRAUC), area under the ROC curve (ROCAUC), and the supporting
+// confusion-matrix machinery. Labels follow the paper's convention:
+// 1 = malicious (positive class), 0 = benign.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Confusion is a binary confusion matrix with malicious (label 1) as the
+// positive class.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add accumulates one (prediction, truth) observation.
+func (c *Confusion) Add(pred, truth int) {
+	switch {
+	case pred == 1 && truth == 1:
+		c.TP++
+	case pred == 1 && truth == 0:
+		c.FP++
+	case pred == 0 && truth == 0:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Total returns the number of accumulated observations.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FPR returns FP/(FP+TN), or 0 when undefined.
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// Accuracy returns (TP+TN)/Total, or 0 for no observations.
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// F1 returns the F1 score of the positive (malicious) class.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// f1Negative returns the F1 score of the negative (benign) class, i.e.
+// F1 computed with the classes swapped.
+func (c Confusion) f1Negative() float64 {
+	swapped := Confusion{TP: c.TN, TN: c.TP, FP: c.FN, FN: c.FP}
+	return swapped.F1()
+}
+
+// MacroF1 returns the unweighted mean of the per-class F1 scores — the
+// headline metric in the iGuard evaluation.
+func (c Confusion) MacroF1() float64 {
+	return (c.F1() + c.f1Negative()) / 2
+}
+
+// String renders the matrix for diagnostics.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d (macroF1=%.4f)", c.TP, c.FP, c.TN, c.FN, c.MacroF1())
+}
+
+// FromPredictions builds a Confusion from parallel prediction and truth
+// slices, which must be equal length with entries in {0, 1}.
+func FromPredictions(preds, truths []int) (Confusion, error) {
+	var c Confusion
+	if len(preds) != len(truths) {
+		return c, fmt.Errorf("metrics: length mismatch: %d predictions vs %d truths", len(preds), len(truths))
+	}
+	for i := range preds {
+		c.Add(preds[i], truths[i])
+	}
+	return c, nil
+}
+
+// MacroF1Score is a convenience wrapper around FromPredictions returning
+// only the macro F1 score. It panics on length mismatch, which is always
+// a programming error.
+func MacroF1Score(preds, truths []int) float64 {
+	c, err := FromPredictions(preds, truths)
+	if err != nil {
+		panic(err)
+	}
+	return c.MacroF1()
+}
+
+// scored pairs an anomaly score with its ground-truth label for curve
+// construction.
+type scored struct {
+	score float64
+	truth int
+}
+
+// sortByScoreDesc sorts observations by descending score, so that a
+// threshold sweep visits the most anomalous samples first.
+func sortByScoreDesc(scores []float64, truths []int) []scored {
+	obs := make([]scored, len(scores))
+	for i := range scores {
+		obs[i] = scored{scores[i], truths[i]}
+	}
+	sort.SliceStable(obs, func(i, j int) bool { return obs[i].score > obs[j].score })
+	return obs
+}
+
+// ROCAUC returns the area under the ROC curve for anomaly scores where
+// higher means more anomalous. Ties are handled by the standard
+// rank-based (Mann-Whitney) correction. It returns 0.5 when either class
+// is absent.
+func ROCAUC(scores []float64, truths []int) float64 {
+	if len(scores) != len(truths) {
+		panic(fmt.Sprintf("metrics: length mismatch: %d vs %d", len(scores), len(truths)))
+	}
+	nPos, nNeg := 0, 0
+	for _, t := range truths {
+		if t == 1 {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	// Rank-sum with midranks for ties.
+	obs := make([]scored, len(scores))
+	for i := range scores {
+		obs[i] = scored{scores[i], truths[i]}
+	}
+	sort.SliceStable(obs, func(i, j int) bool { return obs[i].score < obs[j].score })
+	ranks := make([]float64, len(obs))
+	for i := 0; i < len(obs); {
+		j := i
+		for j < len(obs) && obs[j].score == obs[i].score {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		i = j
+	}
+	sumPos := 0.0
+	for i, o := range obs {
+		if o.truth == 1 {
+			sumPos += ranks[i]
+		}
+	}
+	u := sumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// PRAUC returns the area under the precision-recall curve for anomaly
+// scores where higher means more anomalous, computed by the
+// average-precision method (step-wise integration at each positive).
+// It returns 0 when there are no positives.
+func PRAUC(scores []float64, truths []int) float64 {
+	if len(scores) != len(truths) {
+		panic(fmt.Sprintf("metrics: length mismatch: %d vs %d", len(scores), len(truths)))
+	}
+	obs := sortByScoreDesc(scores, truths)
+	nPos := 0
+	for _, t := range truths {
+		if t == 1 {
+			nPos++
+		}
+	}
+	if nPos == 0 {
+		return 0
+	}
+	// Average precision with tie groups: process equal-score blocks
+	// atomically so the curve does not depend on within-tie order.
+	tp, fp := 0, 0
+	ap := 0.0
+	for i := 0; i < len(obs); {
+		j := i
+		blockTP, blockFP := 0, 0
+		for j < len(obs) && obs[j].score == obs[i].score {
+			if obs[j].truth == 1 {
+				blockTP++
+			} else {
+				blockFP++
+			}
+			j++
+		}
+		tp += blockTP
+		fp += blockFP
+		if blockTP > 0 {
+			precision := float64(tp) / float64(tp+fp)
+			ap += precision * float64(blockTP) / float64(nPos)
+		}
+		i = j
+	}
+	return ap
+}
+
+// BestF1Threshold sweeps thresholds over the observed scores and returns
+// the threshold maximising macro F1 together with that score. Samples
+// with score >= threshold are predicted malicious. For empty input it
+// returns (0, 0).
+func BestF1Threshold(scores []float64, truths []int) (threshold, macroF1 float64) {
+	if len(scores) == 0 {
+		return 0, 0
+	}
+	uniq := append([]float64(nil), scores...)
+	sort.Float64s(uniq)
+	uniq = dedupFloats(uniq)
+	best := -1.0
+	bestThr := uniq[0]
+	// Also consider a threshold above the max (predict all benign).
+	candidates := append(uniq, uniq[len(uniq)-1]+1)
+	for _, thr := range candidates {
+		var c Confusion
+		for i, s := range scores {
+			pred := 0
+			if s >= thr {
+				pred = 1
+			}
+			c.Add(pred, truths[i])
+		}
+		if f := c.MacroF1(); f > best {
+			best, bestThr = f, thr
+		}
+	}
+	return bestThr, best
+}
+
+func dedupFloats(sorted []float64) []float64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Summary bundles the three headline metrics for one experiment cell.
+type Summary struct {
+	MacroF1 float64
+	PRAUC   float64
+	ROCAUC  float64
+}
+
+// Mean3 returns the mean of the three metrics, used by the paper's
+// reward function when selecting best versions.
+func (s Summary) Mean3() float64 { return (s.MacroF1 + s.PRAUC + s.ROCAUC) / 3 }
+
+// String renders the summary in the percent style the paper's tables use.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.2f%%/%.2f%%/%.2f%%", 100*s.MacroF1, 100*s.ROCAUC, 100*s.PRAUC)
+}
+
+// Evaluate computes a Summary from anomaly scores, hard predictions and
+// ground truth. scores drive the AUCs while preds drives macro F1.
+func Evaluate(scores []float64, preds, truths []int) Summary {
+	return Summary{
+		MacroF1: MacroF1Score(preds, truths),
+		PRAUC:   PRAUC(scores, truths),
+		ROCAUC:  ROCAUC(scores, truths),
+	}
+}
+
+// EvaluateScores computes a Summary from scores alone by picking the
+// macro-F1-optimal threshold (the paper's grid-searched "best version"
+// behaviour for score-producing models).
+func EvaluateScores(scores []float64, truths []int) Summary {
+	_, f1 := BestF1Threshold(scores, truths)
+	return Summary{MacroF1: f1, PRAUC: PRAUC(scores, truths), ROCAUC: ROCAUC(scores, truths)}
+}
+
+// Reward implements the paper's §4.2.1 best-version criterion:
+// α/3·(F1+PRAUC+ROCAUC) + (1−α)·(1−ρ) where ρ is the memory footprint
+// fraction of the switch.
+func Reward(alpha float64, s Summary, rho float64) float64 {
+	rho = math.Min(math.Max(rho, 0), 1)
+	return alpha*s.Mean3() + (1-alpha)*(1-rho)
+}

@@ -1,0 +1,276 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iguard/internal/mathx"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestConfusionCounts(t *testing.T) {
+	var c Confusion
+	c.Add(1, 1) // TP
+	c.Add(1, 0) // FP
+	c.Add(0, 0) // TN
+	c.Add(0, 1) // FN
+	if c.TP != 1 || c.FP != 1 || c.TN != 1 || c.FN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Total() != 4 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if !almostEqual(c.Precision(), 0.5, 1e-12) {
+		t.Errorf("Precision = %v", c.Precision())
+	}
+	if !almostEqual(c.Recall(), 0.5, 1e-12) {
+		t.Errorf("Recall = %v", c.Recall())
+	}
+	if !almostEqual(c.Accuracy(), 0.5, 1e-12) {
+		t.Errorf("Accuracy = %v", c.Accuracy())
+	}
+	if !almostEqual(c.FPR(), 0.5, 1e-12) {
+		t.Errorf("FPR = %v", c.FPR())
+	}
+}
+
+func TestConfusionEmptyIsSafe(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.Accuracy() != 0 || c.FPR() != 0 {
+		t.Error("empty confusion should return zeros everywhere")
+	}
+	if c.MacroF1() != 0 {
+		t.Errorf("empty MacroF1 = %v", c.MacroF1())
+	}
+}
+
+func TestPerfectClassifier(t *testing.T) {
+	preds := []int{1, 1, 0, 0}
+	truths := []int{1, 1, 0, 0}
+	c, err := FromPredictions(preds, truths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c.MacroF1(), 1, 1e-12) {
+		t.Errorf("perfect MacroF1 = %v", c.MacroF1())
+	}
+}
+
+func TestInvertedClassifier(t *testing.T) {
+	preds := []int{0, 0, 1, 1}
+	truths := []int{1, 1, 0, 0}
+	c, _ := FromPredictions(preds, truths)
+	if c.MacroF1() != 0 {
+		t.Errorf("inverted MacroF1 = %v, want 0", c.MacroF1())
+	}
+}
+
+func TestFromPredictionsLengthMismatch(t *testing.T) {
+	if _, err := FromPredictions([]int{1}, []int{1, 0}); err == nil {
+		t.Error("want error on length mismatch")
+	}
+}
+
+func TestMacroF1IsSymmetricUnderClassSwap(t *testing.T) {
+	preds := []int{1, 0, 1, 0, 1, 1, 0}
+	truths := []int{1, 0, 0, 0, 1, 0, 1}
+	swapBits := func(xs []int) []int {
+		out := make([]int, len(xs))
+		for i, x := range xs {
+			out[i] = 1 - x
+		}
+		return out
+	}
+	a := MacroF1Score(preds, truths)
+	b := MacroF1Score(swapBits(preds), swapBits(truths))
+	if !almostEqual(a, b, 1e-12) {
+		t.Errorf("macro F1 not class-symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestROCAUCPerfectAndInverted(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	truths := []int{1, 1, 0, 0}
+	if got := ROCAUC(scores, truths); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("perfect ROCAUC = %v", got)
+	}
+	inverted := []int{0, 0, 1, 1}
+	if got := ROCAUC(scores, inverted); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("inverted ROCAUC = %v", got)
+	}
+}
+
+func TestROCAUCRandomIsHalf(t *testing.T) {
+	r := mathx.NewRand(11)
+	n := 5000
+	scores := make([]float64, n)
+	truths := make([]int, n)
+	for i := range scores {
+		scores[i] = r.Float64()
+		truths[i] = r.Intn(2)
+	}
+	if got := ROCAUC(scores, truths); math.Abs(got-0.5) > 0.03 {
+		t.Errorf("random ROCAUC = %v, want ~0.5", got)
+	}
+}
+
+func TestROCAUCSingleClass(t *testing.T) {
+	if got := ROCAUC([]float64{1, 2}, []int{1, 1}); got != 0.5 {
+		t.Errorf("single-class ROCAUC = %v, want 0.5", got)
+	}
+}
+
+func TestROCAUCTies(t *testing.T) {
+	// All scores identical: AUC must be exactly 0.5 via midranks.
+	scores := []float64{1, 1, 1, 1}
+	truths := []int{1, 0, 1, 0}
+	if got := ROCAUC(scores, truths); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("tied ROCAUC = %v, want 0.5", got)
+	}
+}
+
+func TestPRAUCPerfect(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	truths := []int{1, 1, 0, 0}
+	if got := PRAUC(scores, truths); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("perfect PRAUC = %v", got)
+	}
+}
+
+func TestPRAUCNoPositives(t *testing.T) {
+	if got := PRAUC([]float64{1, 2}, []int{0, 0}); got != 0 {
+		t.Errorf("no-positive PRAUC = %v, want 0", got)
+	}
+}
+
+func TestPRAUCBaseline(t *testing.T) {
+	// For uninformative scores PRAUC approaches the positive prevalence.
+	r := mathx.NewRand(13)
+	n := 4000
+	scores := make([]float64, n)
+	truths := make([]int, n)
+	pos := 0
+	for i := range scores {
+		scores[i] = r.Float64()
+		if r.Float64() < 0.2 {
+			truths[i] = 1
+			pos++
+		}
+	}
+	prev := float64(pos) / float64(n)
+	if got := PRAUC(scores, truths); math.Abs(got-prev) > 0.05 {
+		t.Errorf("random PRAUC = %v, want ~%v", got, prev)
+	}
+}
+
+func TestPRAUCTieOrderInvariance(t *testing.T) {
+	// Equal scores must give the same PRAUC regardless of input order.
+	scoresA := []float64{0.5, 0.5, 0.5, 0.1}
+	truthsA := []int{1, 0, 1, 0}
+	scoresB := []float64{0.5, 0.5, 0.5, 0.1}
+	truthsB := []int{0, 1, 1, 0}
+	if a, b := PRAUC(scoresA, truthsA), PRAUC(scoresB, truthsB); !almostEqual(a, b, 1e-12) {
+		t.Errorf("PRAUC tie order dependence: %v vs %v", a, b)
+	}
+}
+
+func TestBestF1Threshold(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.3, 0.2}
+	truths := []int{1, 1, 0, 0}
+	thr, f1 := BestF1Threshold(scores, truths)
+	if !almostEqual(f1, 1, 1e-12) {
+		t.Errorf("best F1 = %v, want 1", f1)
+	}
+	if thr <= 0.3 || thr > 0.8 {
+		t.Errorf("threshold = %v, want in (0.3, 0.8]", thr)
+	}
+	if _, f := BestF1Threshold(nil, nil); f != 0 {
+		t.Errorf("empty best F1 = %v", f)
+	}
+}
+
+func TestBestF1ThresholdAllBenign(t *testing.T) {
+	// With no positives the best policy is predict-all-benign; macro F1 is 0.5
+	// (benign F1 = 1, malicious F1 = 0).
+	scores := []float64{0.1, 0.9}
+	truths := []int{0, 0}
+	_, f1 := BestF1Threshold(scores, truths)
+	if !almostEqual(f1, 0.5, 1e-12) {
+		t.Errorf("all-benign best macro F1 = %v, want 0.5", f1)
+	}
+}
+
+func TestEvaluateScoresConsistent(t *testing.T) {
+	scores := []float64{0.9, 0.7, 0.3, 0.1}
+	truths := []int{1, 1, 0, 0}
+	s := EvaluateScores(scores, truths)
+	if !almostEqual(s.MacroF1, 1, 1e-12) || !almostEqual(s.PRAUC, 1, 1e-12) || !almostEqual(s.ROCAUC, 1, 1e-12) {
+		t.Errorf("summary = %+v, want all 1", s)
+	}
+	if !almostEqual(s.Mean3(), 1, 1e-12) {
+		t.Errorf("Mean3 = %v", s.Mean3())
+	}
+}
+
+func TestReward(t *testing.T) {
+	s := Summary{MacroF1: 0.9, PRAUC: 0.9, ROCAUC: 0.9}
+	got := Reward(0.5, s, 0.1)
+	want := 0.5*0.9 + 0.5*0.9
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("Reward = %v, want %v", got, want)
+	}
+	// rho clamps to [0,1].
+	if got := Reward(0.5, s, 2); !almostEqual(got, 0.45, 1e-12) {
+		t.Errorf("Reward rho>1 = %v, want 0.45", got)
+	}
+}
+
+func TestROCAUCProbabilisticInterpretation(t *testing.T) {
+	// AUC equals the probability a random positive outranks a random
+	// negative; verify by brute force on small random instances.
+	f := func(seed int64) bool {
+		r := mathx.NewRand(seed)
+		n := 30
+		scores := make([]float64, n)
+		truths := make([]int, n)
+		for i := range scores {
+			scores[i] = float64(r.Intn(10)) // coarse grid to force ties
+			truths[i] = r.Intn(2)
+		}
+		nPos, nNeg := 0, 0
+		for _, tr := range truths {
+			if tr == 1 {
+				nPos++
+			} else {
+				nNeg++
+			}
+		}
+		if nPos == 0 || nNeg == 0 {
+			return true
+		}
+		wins := 0.0
+		for i := range scores {
+			if truths[i] != 1 {
+				continue
+			}
+			for j := range scores {
+				if truths[j] != 0 {
+					continue
+				}
+				switch {
+				case scores[i] > scores[j]:
+					wins++
+				case scores[i] == scores[j]:
+					wins += 0.5
+				}
+			}
+		}
+		want := wins / float64(nPos*nNeg)
+		return almostEqual(ROCAUC(scores, truths), want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,330 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation names the supported element-wise nonlinearities.
+type Activation int
+
+// Supported activations.
+const (
+	Identity Activation = iota
+	ReLU
+	Sigmoid
+	Tanh
+	LeakyReLU
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	case LeakyReLU:
+		return "leaky_relu"
+	default:
+		return fmt.Sprintf("activation(%d)", int(a))
+	}
+}
+
+const leakySlope = 0.01
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case Tanh:
+		return math.Tanh(x)
+	case LeakyReLU:
+		if x < 0 {
+			return leakySlope * x
+		}
+		return x
+	default:
+		return x
+	}
+}
+
+// derivFromOutput returns dσ/dz expressed in terms of the activation
+// output y = σ(z) where possible (sigmoid, tanh) and of z's sign for the
+// piecewise-linear activations (passed via y as well since sign(y) ==
+// sign(z) for them).
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return y * (1 - y)
+	case Tanh:
+		return 1 - y*y
+	case LeakyReLU:
+		if y > 0 {
+			return 1
+		}
+		return leakySlope
+	default:
+		return 1
+	}
+}
+
+// Dense is one fully connected layer: out = σ(in·W + b).
+type Dense struct {
+	In, Out int
+	Act     Activation
+	W       *Matrix // In×Out
+	B       []float64
+
+	// Adam state.
+	mW, vW *Matrix
+	mB, vB []float64
+
+	// Cached forward activations for backprop.
+	lastIn  *Matrix
+	lastOut *Matrix
+}
+
+// NewDense creates a Glorot-initialised dense layer.
+func NewDense(r *rand.Rand, in, out int, act Activation) *Dense {
+	d := &Dense{
+		In: in, Out: out, Act: act,
+		W:  NewMatrix(in, out),
+		B:  make([]float64, out),
+		mW: NewMatrix(in, out),
+		vW: NewMatrix(in, out),
+		mB: make([]float64, out),
+		vB: make([]float64, out),
+	}
+	d.W.GlorotInit(r, in, out)
+	return d
+}
+
+// Forward computes the layer output for a batch and caches the
+// intermediates needed by Backward.
+func (d *Dense) Forward(x *Matrix) *Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: dense forward: input has %d features, layer expects %d", x.Cols, d.In))
+	}
+	z := MatMul(x, d.W)
+	for i := 0; i < z.Rows; i++ {
+		row := z.Row(i)
+		for j := range row {
+			row[j] = d.Act.apply(row[j] + d.B[j])
+		}
+	}
+	d.lastIn = x
+	d.lastOut = z
+	return z
+}
+
+// Backward consumes dL/dOut, accumulates parameter gradients into gW/gB
+// and returns dL/dIn.
+func (d *Dense) Backward(gradOut *Matrix) (gradIn, gW *Matrix, gB []float64) {
+	// δ = gradOut ⊙ σ'(z), using cached outputs.
+	delta := NewMatrix(gradOut.Rows, gradOut.Cols)
+	for i := range delta.Data {
+		delta.Data[i] = gradOut.Data[i] * d.Act.derivFromOutput(d.lastOut.Data[i])
+	}
+	gW = TMatMul(d.lastIn, delta)
+	gB = make([]float64, d.Out)
+	for i := 0; i < delta.Rows; i++ {
+		row := delta.Row(i)
+		for j := range row {
+			gB[j] += row[j]
+		}
+	}
+	gradIn = MatMulT(delta, d.W)
+	return gradIn, gW, gB
+}
+
+// AdamConfig holds the optimiser hyperparameters.
+type AdamConfig struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+}
+
+// DefaultAdam returns the standard Adam configuration with the given
+// learning rate.
+func DefaultAdam(lr float64) AdamConfig {
+	return AdamConfig{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// adamStep applies one Adam update to (w, m, v) given gradient g at step t.
+func adamStep(cfg AdamConfig, t int, w, g, m, v []float64) {
+	b1t := 1 - math.Pow(cfg.Beta1, float64(t))
+	b2t := 1 - math.Pow(cfg.Beta2, float64(t))
+	for i := range w {
+		m[i] = cfg.Beta1*m[i] + (1-cfg.Beta1)*g[i]
+		v[i] = cfg.Beta2*v[i] + (1-cfg.Beta2)*g[i]*g[i]
+		mHat := m[i] / b1t
+		vHat := v[i] / b2t
+		w[i] -= cfg.LR * mHat / (math.Sqrt(vHat) + cfg.Epsilon)
+	}
+}
+
+// Update applies one Adam step to the layer parameters, with gradients
+// averaged over batch rows.
+func (d *Dense) Update(cfg AdamConfig, step, batch int, gW *Matrix, gB []float64) {
+	inv := 1.0 / float64(batch)
+	for i := range gW.Data {
+		gW.Data[i] *= inv
+	}
+	for i := range gB {
+		gB[i] *= inv
+	}
+	adamStep(cfg, step, d.W.Data, gW.Data, d.mW.Data, d.vW.Data)
+	adamStep(cfg, step, d.B, gB, d.mB, d.vB)
+}
+
+// Network is a feed-forward stack of dense layers trained with MSE loss.
+type Network struct {
+	Layers []*Dense
+	cfg    AdamConfig
+	step   int
+}
+
+// NewNetwork builds a network from layer sizes and per-layer activations
+// (len(acts) == len(sizes)-1).
+func NewNetwork(r *rand.Rand, sizes []int, acts []Activation, cfg AdamConfig) *Network {
+	if len(sizes) < 2 {
+		panic("nn: network needs at least input and output sizes")
+	}
+	if len(acts) != len(sizes)-1 {
+		panic(fmt.Sprintf("nn: %d activations for %d layers", len(acts), len(sizes)-1))
+	}
+	net := &Network{cfg: cfg}
+	for i := 0; i < len(sizes)-1; i++ {
+		net.Layers = append(net.Layers, NewDense(r, sizes[i], sizes[i+1], acts[i]))
+	}
+	return net
+}
+
+// Forward runs a batch through every layer.
+func (n *Network) Forward(x *Matrix) *Matrix {
+	out := x
+	for _, l := range n.Layers {
+		out = l.Forward(out)
+	}
+	return out
+}
+
+// Predict runs a single sample through the network.
+func (n *Network) Predict(x []float64) []float64 {
+	out := n.Forward(FromRows([][]float64{x}))
+	res := make([]float64, out.Cols)
+	copy(res, out.Row(0))
+	return res
+}
+
+// TrainBatch performs one forward/backward/update pass on a batch with
+// target output y and returns the batch MSE loss.
+func (n *Network) TrainBatch(x, y *Matrix) float64 {
+	out := n.Forward(x)
+	if out.Rows != y.Rows || out.Cols != y.Cols {
+		panic(fmt.Sprintf("nn: target shape %dx%d does not match output %dx%d", y.Rows, y.Cols, out.Rows, out.Cols))
+	}
+	// dL/dOut for L = mean((out-y)²) over all elements: 2(out-y)/N.
+	grad := NewMatrix(out.Rows, out.Cols)
+	loss := 0.0
+	scale := 2.0 / float64(out.Cols)
+	for i := range grad.Data {
+		diff := out.Data[i] - y.Data[i]
+		loss += diff * diff
+		grad.Data[i] = scale * diff
+	}
+	loss /= float64(len(out.Data))
+
+	n.step++
+	type grads struct {
+		gW *Matrix
+		gB []float64
+	}
+	layerGrads := make([]grads, len(n.Layers))
+	g := grad
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		var gW *Matrix
+		var gB []float64
+		g, gW, gB = n.Layers[i].Backward(g)
+		layerGrads[i] = grads{gW, gB}
+	}
+	for i, l := range n.Layers {
+		l.Update(n.cfg, n.step, x.Rows, layerGrads[i].gW, layerGrads[i].gB)
+	}
+	return loss
+}
+
+// FitOptions controls Fit.
+type FitOptions struct {
+	Epochs    int
+	BatchSize int
+	// Shuffle source; required.
+	Rand *rand.Rand
+	// Optional per-epoch callback (epoch index, mean loss).
+	OnEpoch func(epoch int, loss float64)
+}
+
+// Fit trains the network as an autoencoder-style regressor mapping
+// inputs x to targets y (pass x twice for a plain autoencoder). It
+// returns the final epoch's mean loss.
+func (n *Network) Fit(x, y [][]float64, opts FitOptions) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("nn: fit length mismatch: %d inputs vs %d targets", len(x), len(y)))
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 32
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 1
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	finalLoss := 0.0
+	for e := 0; e < opts.Epochs; e++ {
+		if opts.Rand != nil {
+			opts.Rand.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		}
+		totalLoss, batches := 0.0, 0
+		for start := 0; start < len(idx); start += opts.BatchSize {
+			end := start + opts.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			bx := make([][]float64, 0, end-start)
+			by := make([][]float64, 0, end-start)
+			for _, i := range idx[start:end] {
+				bx = append(bx, x[i])
+				by = append(by, y[i])
+			}
+			totalLoss += n.TrainBatch(FromRows(bx), FromRows(by))
+			batches++
+		}
+		finalLoss = totalLoss / float64(batches)
+		if opts.OnEpoch != nil {
+			opts.OnEpoch(e, finalLoss)
+		}
+	}
+	return finalLoss
+}

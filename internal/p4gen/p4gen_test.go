@@ -1,0 +1,190 @@
+package p4gen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"iguard/internal/features"
+	"iguard/internal/rules"
+)
+
+// testRules builds a small compiled whitelist over dim features.
+func testRules(dim, bits, n int) *rules.CompiledRuleSet {
+	min := make([]float64, dim)
+	max := make([]float64, dim)
+	for i := range max {
+		max[i] = 100
+	}
+	rs := &rules.RuleSet{Dim: dim, DefaultLabel: 1}
+	for i := 0; i < n; i++ {
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for j := range hi {
+			lo[j] = float64(i)
+			hi[j] = float64(i + 10)
+		}
+		rs.Rules = append(rs.Rules, rules.Rule{Box: rules.NewBox(lo, hi), Label: 0})
+	}
+	return rules.Compile(rs, rules.NewQuantizer(min, max, bits))
+}
+
+func testDeployment() Deployment {
+	return Deployment{
+		ProgramName:  "iguard_test",
+		FLRules:      testRules(features.FLDim, 12, 5),
+		PLRules:      testRules(features.PLDim, 12, 3),
+		Slots:        4096,
+		PktThreshold: 8,
+		Timeout:      5 * time.Second,
+	}
+}
+
+func TestWriteP4ContainsPipeline(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteP4(&buf, testDeployment()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"#include <tna.p4>",
+		"table blacklist",
+		"table fl_whitelist",
+		"table pl_whitelist",
+		"Digest<iguard_digest_t>",
+		"Register<bit<32>, bit<32>>(4096) flow_id_lo_0",
+		"meta.pkt_count >= 8",
+		"timeout_us=5000000",
+		"Switch(pipe) main;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("P4 output missing %q", want)
+		}
+	}
+	// Every FL feature becomes a range key.
+	for _, n := range features.FLNames {
+		if !strings.Contains(out, "fl_"+n+" : range") {
+			t.Errorf("missing FL range key for %s", n)
+		}
+	}
+}
+
+func TestWriteP4WithoutPL(t *testing.T) {
+	dep := testDeployment()
+	dep.PLRules = nil
+	var buf bytes.Buffer
+	if err := WriteP4(&buf, dep); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "table pl_whitelist") {
+		t.Error("PL table emitted without PL rules")
+	}
+}
+
+func TestWriteP4RequiresFLRules(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteP4(&buf, Deployment{}); err == nil {
+		t.Error("want error without FL rules")
+	}
+}
+
+func TestWriteRuleEntries(t *testing.T) {
+	rs := testRules(2, 8, 3)
+	var buf bytes.Buffer
+	if err := WriteRuleEntries(&buf, "fl_whitelist", rs, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "table_add fl_whitelist whitelist_hit a=") {
+		t.Errorf("line = %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "priority=0") || !strings.Contains(lines[2], "priority=2") {
+		t.Error("priorities missing or wrong")
+	}
+	// Nil rule set is a no-op.
+	if err := WriteRuleEntries(&buf, "x", nil, []string{"a"}); err != nil {
+		t.Errorf("nil rules: %v", err)
+	}
+	// Missing field names error.
+	if err := WriteRuleEntries(&buf, "x", rs, nil); err == nil {
+		t.Error("want error without field names")
+	}
+}
+
+func TestWriteQuantizerConfig(t *testing.T) {
+	rs := testRules(2, 8, 1)
+	var buf bytes.Buffer
+	if err := WriteQuantizerConfig(&buf, rs, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "quantize a offset=0") || !strings.Contains(out, "bits=8") {
+		t.Errorf("quantizer config = %q", out)
+	}
+	if got := strings.Count(out, "\n"); got != 2 {
+		t.Errorf("lines = %d, want 2", got)
+	}
+}
+
+// memFile collects written bundles in memory.
+type memFile struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (m *memFile) Close() error { m.closed = true; return nil }
+
+func TestBundleWritesAllArtifacts(t *testing.T) {
+	files := map[string]*memFile{}
+	open := func(name string) (io.WriteCloser, error) {
+		f := &memFile{}
+		files[name] = f
+		return f, nil
+	}
+	if err := Bundle(testDeployment(), open); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"iguard_test.p4",
+		"iguard_test_fl_rules.txt",
+		"iguard_test_fl_quant.txt",
+		"iguard_test_pl_rules.txt",
+		"iguard_test_pl_quant.txt",
+	} {
+		f, ok := files[want]
+		if !ok {
+			t.Errorf("missing artefact %s", want)
+			continue
+		}
+		if f.Len() == 0 {
+			t.Errorf("artefact %s empty", want)
+		}
+		if !f.closed {
+			t.Errorf("artefact %s not closed", want)
+		}
+	}
+}
+
+func TestBundleOpenError(t *testing.T) {
+	open := func(name string) (io.WriteCloser, error) {
+		return nil, fmt.Errorf("nope")
+	}
+	if err := Bundle(testDeployment(), open); err == nil {
+		t.Error("want error from opener")
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 16: 16, 17: 32}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

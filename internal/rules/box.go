@@ -1,0 +1,163 @@
+// Package rules implements iGuard's whitelist-rule generation (§3.2.3):
+// axis-aligned hypercubes carved out of feature space by the labelled
+// isolation forest, labelled by forest inference, merged when adjacent
+// cells share a label, and finally expanded into ternary (TCAM) entries
+// for installation in a programmable-switch data plane. The Box geometry
+// here is also shared by the forest implementations, which export their
+// leaf regions as boxes.
+package rules
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Interval is a half-open feature range [Lo, Hi). The paper's rules use
+// half-open ranges so adjacent hypercubes tile feature space exactly.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies in [Lo, Hi).
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v < iv.Hi }
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// Intersect returns the overlap of two intervals (possibly empty).
+func (iv Interval) Intersect(o Interval) Interval {
+	return Interval{Lo: math.Max(iv.Lo, o.Lo), Hi: math.Min(iv.Hi, o.Hi)}
+}
+
+// Width returns Hi - Lo (negative widths clamp to 0).
+func (iv Interval) Width() float64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Mid returns the interval midpoint.
+func (iv Interval) Mid() float64 { return (iv.Lo + iv.Hi) / 2 }
+
+// Box is an axis-aligned hypercube: one Interval per feature.
+type Box []Interval
+
+// NewBox returns a box spanning [lo[i], hi[i]) per feature.
+func NewBox(lo, hi []float64) Box {
+	if len(lo) != len(hi) {
+		panic(fmt.Sprintf("rules: box bounds length mismatch %d vs %d", len(lo), len(hi)))
+	}
+	b := make(Box, len(lo))
+	for i := range lo {
+		b[i] = Interval{Lo: lo[i], Hi: hi[i]}
+	}
+	return b
+}
+
+// FullBox returns a box covering [min, max) in every one of dim features.
+func FullBox(dim int, min, max float64) Box {
+	b := make(Box, dim)
+	for i := range b {
+		b[i] = Interval{Lo: min, Hi: max}
+	}
+	return b
+}
+
+// Clone returns a deep copy of b.
+func (b Box) Clone() Box {
+	c := make(Box, len(b))
+	copy(c, b)
+	return c
+}
+
+// Contains reports whether x lies inside the box.
+func (b Box) Contains(x []float64) bool {
+	if len(x) != len(b) {
+		return false
+	}
+	for i, iv := range b {
+		if !iv.Contains(x[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether any dimension is empty.
+func (b Box) Empty() bool {
+	for _, iv := range b {
+		if iv.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersect returns b ∩ o, which may be empty.
+func (b Box) Intersect(o Box) Box {
+	if len(b) != len(o) {
+		panic(fmt.Sprintf("rules: box dimension mismatch %d vs %d", len(b), len(o)))
+	}
+	out := make(Box, len(b))
+	for i := range b {
+		out[i] = b[i].Intersect(o[i])
+	}
+	return out
+}
+
+// Center returns the midpoint of every dimension — the sample point used
+// to label a hypercube by forest inference (§3.2.3 picks a random point
+// inside the cube; the centre is a deterministic choice of one).
+func (b Box) Center() []float64 {
+	c := make([]float64, len(b))
+	for i, iv := range b {
+		c[i] = iv.Mid()
+	}
+	return c
+}
+
+// Volume returns the product of widths.
+func (b Box) Volume() float64 {
+	v := 1.0
+	for _, iv := range b {
+		v *= iv.Width()
+	}
+	return v
+}
+
+// String renders the box compactly for diagnostics.
+func (b Box) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, iv := range b {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "[%.3g,%.3g)", iv.Lo, iv.Hi)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// adjacentAlong reports whether boxes a and c can merge along dimension
+// d: identical in every other dimension and touching in d.
+func adjacentAlong(a, c Box, d int) bool {
+	for i := range a {
+		if i == d {
+			continue
+		}
+		if a[i] != c[i] {
+			return false
+		}
+	}
+	return a[d].Hi == c[d].Lo || c[d].Hi == a[d].Lo
+}
+
+// mergeAlong returns the union box of two boxes adjacent along d.
+func mergeAlong(a, c Box, d int) Box {
+	out := a.Clone()
+	out[d] = Interval{Lo: math.Min(a[d].Lo, c[d].Lo), Hi: math.Max(a[d].Hi, c[d].Hi)}
+	return out
+}

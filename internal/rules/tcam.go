@@ -1,0 +1,263 @@
+package rules
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantizer maps continuous feature values into the integer domain a
+// switch matches on: feature i spans [Min[i], Max[i]] and is encoded as
+// a Bits[i]-bit unsigned integer.
+type Quantizer struct {
+	Min  []float64
+	Max  []float64
+	Bits []int
+}
+
+// NewQuantizer builds a quantizer with uniform bit width for every
+// feature over the given per-feature ranges.
+func NewQuantizer(min, max []float64, bits int) *Quantizer {
+	if len(min) != len(max) {
+		panic(fmt.Sprintf("rules: quantizer bounds mismatch %d vs %d", len(min), len(max)))
+	}
+	b := make([]int, len(min))
+	for i := range b {
+		b[i] = bits
+	}
+	return &Quantizer{Min: append([]float64(nil), min...), Max: append([]float64(nil), max...), Bits: b}
+}
+
+// Levels returns the number of quantisation levels for feature i.
+func (q *Quantizer) Levels(i int) uint64 { return uint64(1) << q.Bits[i] }
+
+// Encode maps value v of feature i into [0, 2^bits−1], clamping
+// out-of-range values.
+func (q *Quantizer) Encode(i int, v float64) uint64 {
+	span := q.Max[i] - q.Min[i]
+	if span <= 0 {
+		return 0
+	}
+	levels := float64(q.Levels(i))
+	code := math.Floor((v - q.Min[i]) / span * levels)
+	if code < 0 {
+		code = 0
+	}
+	if code > levels-1 {
+		code = levels - 1
+	}
+	return uint64(code)
+}
+
+// Decode returns the lower edge of code's quantisation bucket for
+// feature i.
+func (q *Quantizer) Decode(i int, code uint64) float64 {
+	span := q.Max[i] - q.Min[i]
+	return q.Min[i] + float64(code)/float64(q.Levels(i))*span
+}
+
+// EncodeVector quantises a whole feature vector.
+func (q *Quantizer) EncodeVector(x []float64) []uint64 {
+	out := make([]uint64, len(x))
+	for i, v := range x {
+		out[i] = q.Encode(i, v)
+	}
+	return out
+}
+
+// IntRange is an inclusive integer range [Lo, Hi] over a quantised
+// feature.
+type IntRange struct {
+	Lo, Hi uint64
+}
+
+// TCAMRule is one whitelist rule quantised to integer ranges.
+type TCAMRule struct {
+	Ranges []IntRange
+	Label  int
+}
+
+// QuantizeRule converts a hypercube rule into integer ranges under q by
+// snapping each box edge to its *nearest* bucket boundary. Adjacent
+// cells share edges, so snapping keeps the quantised arrangement
+// watertight: no cracks between benign cells and no swallowing of
+// malicious slivers wider than half a bucket — mislabels are confined
+// to within half a bucket of true region edges. Returns ok=false when
+// the box collapses to an empty range at this bit width (sub-bucket
+// rules vanish; their space falls to the malicious default).
+func QuantizeRule(r Rule, q *Quantizer) (TCAMRule, bool) {
+	out := TCAMRule{Label: r.Label, Ranges: make([]IntRange, len(r.Box))}
+	for i, iv := range r.Box {
+		span := q.Max[i] - q.Min[i]
+		levels := int64(q.Levels(i))
+		if span <= 0 {
+			out.Ranges[i] = IntRange{Lo: 0, Hi: uint64(levels - 1)}
+			continue
+		}
+		bucket := span / float64(levels)
+		loB := int64(math.Round((iv.Lo - q.Min[i]) / bucket))
+		hiB := int64(math.Round((iv.Hi - q.Min[i]) / bucket))
+		if loB < 0 {
+			loB = 0
+		}
+		if hiB > levels {
+			hiB = levels
+		}
+		if hiB <= loB {
+			return TCAMRule{}, false
+		}
+		out.Ranges[i] = IntRange{Lo: uint64(loB), Hi: uint64(hiB - 1)}
+	}
+	return out, true
+}
+
+// Prefix is a ternary match value/mask pair of the given bit width.
+type Prefix struct {
+	Value uint64
+	// MaskBits is the number of leading exact bits; the remaining
+	// width−MaskBits bits are wildcards.
+	MaskBits int
+}
+
+// RangeToPrefixes expands an inclusive integer range into the minimal
+// set of prefixes covering it — the classic TCAM range-expansion
+// algorithm. A w-bit range expands into at most 2w−2 prefixes.
+func RangeToPrefixes(r IntRange, width int) []Prefix {
+	var out []Prefix
+	lo, hi := r.Lo, r.Hi
+	if hi < lo {
+		return nil
+	}
+	max := uint64(1)<<width - 1
+	for lo <= hi {
+		// Largest block starting at lo, aligned and within [lo, hi].
+		size := uint64(1)
+		for {
+			next := size << 1
+			if next == 0 || lo&(next-1) != 0 || lo+next-1 > hi {
+				break
+			}
+			size = next
+		}
+		bits := 0
+		for s := size; s > 1; s >>= 1 {
+			bits++
+		}
+		out = append(out, Prefix{Value: lo, MaskBits: width - bits})
+		if lo+size-1 == max {
+			break // would overflow
+		}
+		lo += size
+	}
+	return out
+}
+
+// TCAMEntries returns the number of TCAM entries rule r occupies after
+// per-field prefix expansion: the product of per-field prefix counts
+// (multi-field ranges cross-multiply in a prefix-encoded TCAM).
+func TCAMEntries(r TCAMRule, q *Quantizer) int {
+	entries := 1
+	for i, rg := range r.Ranges {
+		// Full-range fields cost a single wildcard entry.
+		if rg.Lo == 0 && rg.Hi == q.Levels(i)-1 {
+			continue
+		}
+		n := len(RangeToPrefixes(rg, q.Bits[i]))
+		if n == 0 {
+			return 0
+		}
+		entries *= n
+	}
+	return entries
+}
+
+// CompiledRuleSet is a rule set quantised for switch installation.
+type CompiledRuleSet struct {
+	Rules        []TCAMRule
+	Quantizer    *Quantizer
+	DefaultLabel int
+	// TotalEntries is the TCAM entry count after prefix expansion.
+	TotalEntries int
+	// KeyBits is the total match-key width (Σ feature bits).
+	KeyBits int
+}
+
+// Compile quantises the rule set under q, drops rules that vanish at
+// this resolution, and accounts TCAM entries. Only whitelist (label 0)
+// rules are installed; everything else defaults to the malicious label,
+// matching the paper's whitelist deployment.
+func Compile(rs *RuleSet, q *Quantizer) *CompiledRuleSet {
+	out := &CompiledRuleSet{Quantizer: q, DefaultLabel: 1}
+	for _, b := range q.Bits {
+		out.KeyBits += b
+	}
+	// Deduplicate rules that collapse to identical integer ranges.
+	seen := map[string]bool{}
+	for _, r := range rs.Rules {
+		if r.Label != 0 {
+			continue
+		}
+		tr, ok := QuantizeRule(r, q)
+		if !ok {
+			continue
+		}
+		key := fmt.Sprint(tr.Ranges)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out.Rules = append(out.Rules, tr)
+		out.TotalEntries += TCAMEntries(tr, q)
+	}
+	return out
+}
+
+// RangeKeyBits returns the TCAM key width of one rule under
+// Tofino-style 4-bit nibble range encoding (DIRPE): each b-bit range
+// field occupies ceil(b/4) nibbles of 16 one-hot bits, letting every
+// rule install as a single TCAM entry instead of a per-field prefix
+// cross-product.
+func (c *CompiledRuleSet) RangeKeyBits() int {
+	const bitsPerNibble = 16
+	total := 0
+	for _, b := range c.Quantizer.Bits {
+		total += (b + 3) / 4 * bitsPerNibble
+	}
+	return total
+}
+
+// Match returns 0 when the quantised x falls in any installed whitelist
+// rule, else the default (malicious) label.
+func (c *CompiledRuleSet) Match(x []float64) int {
+	codes := c.Quantizer.EncodeVector(x)
+	for _, r := range c.Rules {
+		hit := true
+		for i, rg := range r.Ranges {
+			if codes[i] < rg.Lo || codes[i] > rg.Hi {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return 0
+		}
+	}
+	return c.DefaultLabel
+}
+
+// MatchCodes is Match over already-quantised feature codes, the form the
+// switch data plane actually sees.
+func (c *CompiledRuleSet) MatchCodes(codes []uint64) int {
+	for _, r := range c.Rules {
+		hit := true
+		for i, rg := range r.Ranges {
+			if codes[i] < rg.Lo || codes[i] > rg.Hi {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return 0
+		}
+	}
+	return c.DefaultLabel
+}

@@ -1,0 +1,156 @@
+// Package switchsim is a software model of the Tofino-class programmable
+// switch data plane iGuard deploys on: a match-action pipeline with the
+// six packet-execution paths of Fig. 4 (blacklist, early-packet, n-th
+// packet/timeout, collision, early-decision, loopback), stateful flow
+// registers behind double bi-hash tables, whitelist TCAM tables, digests
+// to the controller, mirror-to-loopback recirculation, and a structural
+// resource-accounting model (TCAM/SRAM/sALU/VLIW/stages) used to
+// reproduce Table 1.
+//
+// The model is structural rather than cycle-accurate: rule capacity,
+// register layout, per-path behaviour and recirculation counts follow
+// the P4 design; absolute gigabit throughput is out of scope (see
+// DESIGN.md §6).
+package switchsim
+
+import "fmt"
+
+// Budget describes the resources of one switch. Constants follow the
+// public Tofino-1 architecture: 12 MAU stages; 24 TCAM blocks of
+// 512x44 bits per stage; 80 SRAM blocks of 1024x128 bits per stage;
+// 4 stateful ALUs and 32 VLIW action slots per stage.
+type Budget struct {
+	Stages   int
+	TCAMBits int64
+	SRAMBits int64
+	SALUs    int
+	VLIWs    int
+}
+
+// Tofino1Budget returns the budget of the Edgecore/Tofino-1 target the
+// paper deploys on.
+func Tofino1Budget() Budget {
+	const stages = 12
+	return Budget{
+		Stages:   stages,
+		TCAMBits: int64(stages) * 24 * 512 * 44,
+		SRAMBits: int64(stages) * 80 * 1024 * 128,
+		SALUs:    stages * 4,
+		VLIWs:    stages * 32,
+	}
+}
+
+// Usage is the absolute resource consumption of one deployment.
+type Usage struct {
+	Stages   int
+	TCAMBits int64
+	SRAMBits int64
+	SALUs    int
+	VLIWs    int
+}
+
+// Add returns the component-wise sum (stages take the max — tables in
+// different categories share stages).
+func (u Usage) Add(o Usage) Usage {
+	s := u.Stages
+	if o.Stages > s {
+		s = o.Stages
+	}
+	return Usage{
+		Stages:   s,
+		TCAMBits: u.TCAMBits + o.TCAMBits,
+		SRAMBits: u.SRAMBits + o.SRAMBits,
+		SALUs:    u.SALUs + o.SALUs,
+		VLIWs:    u.VLIWs + o.VLIWs,
+	}
+}
+
+// Report expresses usage as fractions of a budget — the form Table 1
+// reports.
+type Report struct {
+	TCAM   float64
+	SRAM   float64
+	SALU   float64
+	VLIW   float64
+	Stages int
+}
+
+// Fractions computes the Table-1-style report.
+func (u Usage) Fractions(b Budget) Report {
+	return Report{
+		TCAM:   frac(u.TCAMBits, b.TCAMBits),
+		SRAM:   frac(u.SRAMBits, b.SRAMBits),
+		SALU:   frac(int64(u.SALUs), int64(b.SALUs)),
+		VLIW:   frac(int64(u.VLIWs), int64(b.VLIWs)),
+		Stages: u.Stages,
+	}
+}
+
+func frac(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Rho returns the scalar memory-footprint fraction ρ used by the
+// paper's reward function (§4.2.1): the mean of the TCAM and SRAM
+// fractions, the two memory resources.
+func (r Report) Rho() float64 { return (r.TCAM + r.SRAM) / 2 }
+
+// String renders the report as a Table-1 row.
+func (r Report) String() string {
+	return fmt.Sprintf("TCAM %.2f%%  SRAM %.2f%%  sALU %.2f%%  VLIW %.2f%%  Stages %d",
+		100*r.TCAM, 100*r.SRAM, 100*r.SALU, 100*r.VLIW, r.Stages)
+}
+
+// Register-layout constants for SRAM accounting: each of the two
+// bi-hash tables keeps per-slot flow state. Field widths in bits follow
+// the P4 prototype's register definitions.
+const (
+	flowIDBits   = 104 // 5-tuple: 32+32+16+16+8
+	countBits    = 16
+	labelBits    = 2 // -1/0/1 plus valid
+	tsBits       = 48
+	statBits     = 32 // each size/IPD accumulator register
+	numStatRegs  = 10 // sizeSum, sizeSq, sizeMin, sizeMax, ipdSum, ipdSq, ipdMin, ipdMax, firstTS(dup as stat), reserved
+	perSlotBits  = flowIDBits + countBits + labelBits + 2*tsBits + numStatRegs*statBits
+	blacklistKey = 104
+	// blacklistValueBits: action + port.
+	blacklistValueBits = 16
+)
+
+// saluGroups is the number of stateful-ALU register groups the pipeline
+// occupies. Paired accumulators (sum+sqsum, min+max, first+last
+// timestamp) pack into dual-slot sALUs per the HorusEye register layout,
+// and the two bi-hash tables interleave across stages sharing groups:
+// id, count+label, timestamps, sizeSum+sq, sizeMin+max, ipdSum+sq,
+// ipdMin+max, timeout check, mirror/digest state.
+const saluGroups = 9
+
+// actionSlots is the number of VLIW action instructions across the six
+// packet paths (forward, drop, update ×state, clear, mirror, digest,
+// re-init, label write, early decision variants).
+const actionSlots = 30
+
+// PipelineUsage computes the structural resource usage of a deployment:
+// the whitelist TCAM tables (PL and FL), the per-slot SRAM of both
+// bi-hash tables, the blacklist exact-match table, and the fixed
+// sALU/VLIW/stage footprint of the program.
+func PipelineUsage(slots, blacklistCapacity int, tcamEntries []TCAMTableSpec) Usage {
+	u := Usage{Stages: 12, SALUs: saluGroups, VLIWs: actionSlots}
+	for _, t := range tcamEntries {
+		u.TCAMBits += int64(t.Entries) * int64(t.KeyBits)
+	}
+	// Two hash tables of flow state plus the blacklist exact table
+	// (hash tables in SRAM at 2x provisioning for hash headroom).
+	u.SRAMBits = int64(2*slots)*int64(perSlotBits) +
+		2*int64(blacklistCapacity)*int64(blacklistKey+blacklistValueBits)
+	return u
+}
+
+// TCAMTableSpec describes one installed whitelist table for accounting.
+type TCAMTableSpec struct {
+	Entries int
+	KeyBits int
+}

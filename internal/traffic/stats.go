@@ -1,0 +1,99 @@
+package traffic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"iguard/internal/features"
+	"iguard/internal/netpkt"
+)
+
+// Stats summarises a trace: volume, flow structure and rates — the
+// numbers one sanity-checks a generated corpus (or an ingested PCAP)
+// with before training on it.
+type Stats struct {
+	Packets        int
+	Bytes          int64
+	Flows          int
+	MaliciousFlows int
+	Duration       time.Duration
+	PacketsPerSec  float64
+	BitsPerSec     float64
+	// ByProto counts packets per IP protocol.
+	ByProto map[uint8]int
+	// FlowLen distribution summary.
+	MinFlowLen, MaxFlowLen int
+	MeanFlowLen            float64
+	// MeanPktSize in bytes.
+	MeanPktSize float64
+}
+
+// Summarise computes Stats for a trace.
+func Summarise(tr *Trace) Stats {
+	s := Stats{ByProto: map[uint8]int{}}
+	if len(tr.Packets) == 0 {
+		return s
+	}
+	flowLens := map[features.FlowKey]int{}
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		s.Packets++
+		s.Bytes += int64(p.Length)
+		s.ByProto[p.Proto]++
+		flowLens[features.KeyOf(p).Canonical()]++
+	}
+	s.Flows = len(flowLens)
+	s.MaliciousFlows = len(tr.Malicious)
+	first := tr.Packets[0].Timestamp
+	last := tr.Packets[len(tr.Packets)-1].Timestamp
+	s.Duration = last.Sub(first)
+	if secs := s.Duration.Seconds(); secs > 0 {
+		s.PacketsPerSec = float64(s.Packets) / secs
+		s.BitsPerSec = float64(s.Bytes*8) / secs
+	}
+	s.MinFlowLen = s.Packets
+	total := 0
+	for _, n := range flowLens {
+		total += n
+		if n < s.MinFlowLen {
+			s.MinFlowLen = n
+		}
+		if n > s.MaxFlowLen {
+			s.MaxFlowLen = n
+		}
+	}
+	s.MeanFlowLen = float64(total) / float64(s.Flows)
+	s.MeanPktSize = float64(s.Bytes) / float64(s.Packets)
+	return s
+}
+
+// String renders the summary for CLI output.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "packets=%d bytes=%d flows=%d (malicious %d) duration=%v\n",
+		s.Packets, s.Bytes, s.Flows, s.MaliciousFlows, s.Duration.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "rate=%.0f pkt/s %.2f Mbit/s  flowlen min/mean/max=%d/%.1f/%d  mean pkt=%.0f B\n",
+		s.PacketsPerSec, s.BitsPerSec/1e6, s.MinFlowLen, s.MeanFlowLen, s.MaxFlowLen, s.MeanPktSize)
+	protos := make([]int, 0, len(s.ByProto))
+	for p := range s.ByProto {
+		protos = append(protos, int(p))
+	}
+	sort.Ints(protos)
+	sb.WriteString("protocols:")
+	for _, p := range protos {
+		name := fmt.Sprintf("%d", p)
+		switch uint8(p) {
+		case netpkt.ProtoTCP:
+			name = "tcp"
+		case netpkt.ProtoUDP:
+			name = "udp"
+		case netpkt.ProtoICMP:
+			name = "icmp"
+		}
+		fmt.Fprintf(&sb, " %s=%d", name, s.ByProto[uint8(p)])
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

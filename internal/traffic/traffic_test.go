@@ -1,0 +1,321 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"iguard/internal/features"
+)
+
+func TestGenerateBenignBasics(t *testing.T) {
+	tr := GenerateBenign(1, 100)
+	if len(tr.Packets) == 0 {
+		t.Fatal("no packets")
+	}
+	if len(tr.Malicious) != 0 {
+		t.Errorf("benign trace has %d malicious keys", len(tr.Malicious))
+	}
+	// Timestamps must be non-decreasing.
+	for i := 1; i < len(tr.Packets); i++ {
+		if tr.Packets[i].Timestamp.Before(tr.Packets[i-1].Timestamp) {
+			t.Fatalf("packets not sorted at %d", i)
+		}
+	}
+	// All benign sources in 10.0/16, destinations in 23.1/16 or replies.
+	for _, p := range tr.Packets {
+		src, dst := p.SrcIP, p.DstIP
+		ok := (src[0] == 10 && dst[0] == 23) || (src[0] == 23 && dst[0] == 10)
+		if !ok {
+			t.Fatalf("unexpected endpoints %v > %v", src, dst)
+		}
+	}
+}
+
+func TestGenerateBenignDeterministic(t *testing.T) {
+	a := GenerateBenign(7, 50)
+	b := GenerateBenign(7, 50)
+	if len(a.Packets) != len(b.Packets) {
+		t.Fatal("same seed, different packet counts")
+	}
+	for i := range a.Packets {
+		if !a.Packets[i].Timestamp.Equal(b.Packets[i].Timestamp) || a.Packets[i].Length != b.Packets[i].Length {
+			t.Fatal("same seed, different packets")
+		}
+	}
+	c := GenerateBenign(8, 50)
+	if len(a.Packets) == len(c.Packets) && a.Packets[0].Length == c.Packets[0].Length && a.Packets[0].SrcIP == c.Packets[0].SrcIP {
+		t.Log("different seeds produced similar first packet (possible)")
+	}
+}
+
+func TestGenerateAllAttacks(t *testing.T) {
+	for _, name := range AllAttacks() {
+		tr, err := GenerateAttack(name, 3, 20)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tr.Packets) == 0 {
+			t.Errorf("%s: no packets", name)
+		}
+		if len(tr.Malicious) == 0 {
+			t.Errorf("%s: no malicious keys", name)
+		}
+		// Every packet belongs to a malicious flow.
+		for _, p := range tr.Packets {
+			if !tr.IsMalicious(features.KeyOf(&p)) {
+				t.Errorf("%s: packet not marked malicious", name)
+				break
+			}
+		}
+	}
+}
+
+func TestGenerateAttackUnknown(t *testing.T) {
+	if _, err := GenerateAttack("nope", 1, 5); err == nil {
+		t.Error("want error on unknown attack")
+	}
+}
+
+func TestMustGenerateAttackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	MustGenerateAttack("nope", 1, 5)
+}
+
+func TestAllAttacksCount(t *testing.T) {
+	if got := len(AllAttacks()); got != 15 {
+		t.Errorf("attacks = %d, want 15", got)
+	}
+	seen := map[AttackName]bool{}
+	for _, a := range AllAttacks() {
+		if seen[a] {
+			t.Errorf("duplicate attack %s", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestMergeTraces(t *testing.T) {
+	benign := GenerateBenign(1, 30)
+	attack := MustGenerateAttack(Mirai, 2, 10)
+	merged := benign.Merge(attack)
+	if len(merged.Packets) != len(benign.Packets)+len(attack.Packets) {
+		t.Errorf("merged packets = %d, want %d", len(merged.Packets), len(benign.Packets)+len(attack.Packets))
+	}
+	for i := 1; i < len(merged.Packets); i++ {
+		if merged.Packets[i].Timestamp.Before(merged.Packets[i-1].Timestamp) {
+			t.Fatal("merged trace not sorted")
+		}
+	}
+	if len(merged.Malicious) != len(attack.Malicious) {
+		t.Errorf("malicious keys = %d, want %d", len(merged.Malicious), len(attack.Malicious))
+	}
+}
+
+func TestAttackCharacteristics(t *testing.T) {
+	// UDP DDoS: large packets at a furious rate.
+	ddos := MustGenerateAttack(UDPDDoS, 5, 10)
+	sum := 0
+	for _, p := range ddos.Packets {
+		sum += p.Length
+	}
+	if avg := float64(sum) / float64(len(ddos.Packets)); avg < 1300 {
+		t.Errorf("UDP DDoS mean size = %v, want >= 1300", avg)
+	}
+	// Mirai: tiny SYNs to telnet ports.
+	mirai := MustGenerateAttack(Mirai, 5, 20)
+	for _, p := range mirai.Packets {
+		if p.DstPort != 23 && p.DstPort != 2323 && p.SrcPort != 23 && p.SrcPort != 2323 {
+			t.Errorf("Mirai port = %d", p.DstPort)
+			break
+		}
+		if p.Length > 70 {
+			t.Errorf("Mirai size = %d", p.Length)
+			break
+		}
+	}
+	// Keylogging: low-rate tiny packets — flows last far longer than
+	// UDP DDoS flows of the same packet count.
+	key := MustGenerateAttack(Keylogging, 5, 5)
+	if len(key.Packets) < 10 {
+		t.Fatalf("keylogging packets = %d", len(key.Packets))
+	}
+}
+
+func TestLowRateStretchesGaps(t *testing.T) {
+	tr := MustGenerateAttack(TCPDDoS, 9, 4)
+	slow := LowRate(tr, 100)
+	if len(slow.Packets) != len(tr.Packets) {
+		t.Fatalf("packet count changed: %d vs %d", len(slow.Packets), len(tr.Packets))
+	}
+	// Per-flow span must grow ~100x.
+	span := func(t *Trace) time.Duration {
+		key := features.KeyOf(&t.Packets[0]).Canonical()
+		var first, last time.Time
+		found := false
+		for _, p := range t.Packets {
+			if features.KeyOf(&p).Canonical() != key {
+				continue
+			}
+			if !found {
+				first = p.Timestamp
+				found = true
+			}
+			last = p.Timestamp
+		}
+		return last.Sub(first)
+	}
+	orig, stretched := span(tr), span(slow)
+	if orig == 0 {
+		t.Skip("degenerate single-packet flow")
+	}
+	ratio := float64(stretched) / float64(orig)
+	if ratio < 90 || ratio > 110 {
+		t.Errorf("stretch ratio = %v, want ~100", ratio)
+	}
+	// Malicious ground truth preserved.
+	if len(slow.Malicious) != len(tr.Malicious) {
+		t.Error("malicious set changed")
+	}
+}
+
+func TestLowRateBadFactor(t *testing.T) {
+	tr := MustGenerateAttack(TCPDDoS, 9, 2)
+	out := LowRate(tr, 0)
+	if len(out.Packets) != len(tr.Packets) {
+		t.Error("factor<=0 should be identity-ish")
+	}
+}
+
+func TestPoisonInjectsFlows(t *testing.T) {
+	benign := GenerateBenign(11, 100)
+	attack := MustGenerateAttack(Mirai, 12, 50)
+	poisoned := Poison(benign, attack, 0.1, 13)
+	if len(poisoned.Malicious) == 0 {
+		t.Fatal("no attack flows injected")
+	}
+	if len(poisoned.Packets) <= len(benign.Packets) {
+		t.Error("poisoned trace no larger than benign")
+	}
+	// Injection fraction roughly respected (10% of benign flows).
+	benignFlows := map[features.FlowKey]bool{}
+	for _, p := range benign.Packets {
+		benignFlows[features.KeyOf(&p).Canonical()] = true
+	}
+	want := int(0.1 * float64(len(benignFlows)))
+	got := len(poisoned.Malicious)
+	if got < want/2 || got > want*2 {
+		t.Errorf("injected flows = %d, want ~%d", got, want)
+	}
+	for i := 1; i < len(poisoned.Packets); i++ {
+		if poisoned.Packets[i].Timestamp.Before(poisoned.Packets[i-1].Timestamp) {
+			t.Fatal("poisoned trace not sorted")
+		}
+	}
+}
+
+func TestPoisonCapsAtAvailableFlows(t *testing.T) {
+	benign := GenerateBenign(14, 200)
+	attack := MustGenerateAttack(UDPDDoS, 15, 2)
+	poisoned := Poison(benign, attack, 0.9, 16)
+	if len(poisoned.Malicious) > len(attack.Malicious) {
+		t.Errorf("injected %d flows but only %d exist", len(poisoned.Malicious), len(attack.Malicious))
+	}
+}
+
+func TestEvadeInsertsBenignPackets(t *testing.T) {
+	tr := MustGenerateAttack(UDPDDoS, 17, 3)
+	evaded := Evade(tr, 0.5, 18) // 1 benign per 2 attack
+	if len(evaded.Packets) <= len(tr.Packets) {
+		t.Fatal("no packets inserted")
+	}
+	growth := float64(len(evaded.Packets)) / float64(len(tr.Packets))
+	if growth < 1.3 || growth > 1.7 {
+		t.Errorf("growth = %v, want ~1.5", growth)
+	}
+	// Inserted packets stay within the malicious flows.
+	for _, p := range evaded.Packets {
+		if !evaded.IsMalicious(features.KeyOf(&p)) {
+			t.Fatal("inserted packet escaped the attack flow")
+		}
+	}
+	// Mean packet size must drop (benign-sized insertions).
+	mean := func(t *Trace) float64 {
+		s := 0
+		for _, p := range t.Packets {
+			s += p.Length
+		}
+		return float64(s) / float64(len(t.Packets))
+	}
+	if mean(evaded) >= mean(tr) {
+		t.Errorf("evasion did not drag size down: %v vs %v", mean(evaded), mean(tr))
+	}
+	for i := 1; i < len(evaded.Packets); i++ {
+		if evaded.Packets[i].Timestamp.Before(evaded.Packets[i-1].Timestamp) {
+			t.Fatal("evaded trace not sorted")
+		}
+	}
+}
+
+func TestEvadeOnBenignTraceIsNoOp(t *testing.T) {
+	benign := GenerateBenign(19, 20)
+	evaded := Evade(benign, 0.5, 20)
+	if len(evaded.Packets) != len(benign.Packets) {
+		t.Error("evasion modified benign flows")
+	}
+}
+
+func TestRouterVariantsDiffer(t *testing.T) {
+	base := MustGenerateAttack(UDPDDoS, 21, 5)
+	router := MustGenerateAttack(UDPDDoSRouter, 21, 5)
+	// Same seed, different spec: traces must differ.
+	if len(base.Packets) == len(router.Packets) {
+		same := true
+		for i := range base.Packets {
+			if base.Packets[i].Length != router.Packets[i].Length ||
+				!base.Packets[i].Timestamp.Equal(router.Packets[i].Timestamp) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("router variant identical to base attack")
+		}
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	tr := GenerateBenign(1, 50).Merge(MustGenerateAttack(Mirai, 2, 10))
+	s := Summarise(tr)
+	if s.Packets != len(tr.Packets) {
+		t.Errorf("packets = %d, want %d", s.Packets, len(tr.Packets))
+	}
+	if s.Flows <= 0 || s.MaliciousFlows != len(tr.Malicious) {
+		t.Errorf("flows = %d malicious = %d", s.Flows, s.MaliciousFlows)
+	}
+	if s.Bytes <= 0 || s.MeanPktSize <= 0 {
+		t.Errorf("bytes = %d meanPkt = %v", s.Bytes, s.MeanPktSize)
+	}
+	if s.Duration <= 0 || s.PacketsPerSec <= 0 || s.BitsPerSec <= 0 {
+		t.Errorf("rates: %+v", s)
+	}
+	if s.MinFlowLen <= 0 || s.MaxFlowLen < s.MinFlowLen {
+		t.Errorf("flow lens: min=%d max=%d", s.MinFlowLen, s.MaxFlowLen)
+	}
+	if s.ByProto[6]+s.ByProto[17] != s.Packets {
+		t.Errorf("proto counts %v don't sum to packets", s.ByProto)
+	}
+	if s.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestSummariseEmpty(t *testing.T) {
+	s := Summarise(&Trace{Malicious: map[features.FlowKey]bool{}})
+	if s.Packets != 0 || s.Flows != 0 {
+		t.Errorf("empty stats: %+v", s)
+	}
+}

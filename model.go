@@ -1,0 +1,51 @@
+package iguard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"iguard/internal/core"
+	"iguard/internal/features"
+	"iguard/internal/rules"
+)
+
+// savedModel is the serialised deployment artefact: the feature
+// pipeline, the labelled rule set, and (since the distilled forest
+// serialises) the full forest — so loaded detectors keep forest-grade
+// classification and vote scores. The autoencoder ensemble remains a
+// training-time object.
+type savedModel struct {
+	Config Config               `json:"config"`
+	Prep   *features.Preprocess `json:"preprocess"`
+	Rules  *rules.RuleSet       `json:"rules"`
+	Forest *core.Forest         `json:"forest,omitempty"`
+}
+
+// Save serialises the detector's deployable state as JSON.
+func (d *Detector) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(savedModel{Config: d.cfg, Prep: d.prep, Rules: d.ruleSet, Forest: d.forest})
+}
+
+// Load restores a detector from Save's output. Models written by this
+// version carry the distilled forest and classify exactly as the
+// original; older rule-only models fall back to rule matching
+// (equivalent up to the consistency metric C).
+func Load(r io.Reader) (*Detector, error) {
+	var m savedModel
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("iguard: load: %w", err)
+	}
+	if m.Prep == nil || m.Rules == nil {
+		return nil, fmt.Errorf("iguard: load: missing preprocess or rules")
+	}
+	d := &Detector{cfg: m.Config, prep: m.Prep, ruleSet: m.Rules, forest: m.Forest}
+	d.compiled = compileRaw(m.Rules, m.Prep, m.Config.QuantBits)
+	return d, nil
+}
+
+// RuleBased reports whether the detector classifies via rules only
+// (a loaded model) rather than the in-memory forest.
+func (d *Detector) RuleBased() bool { return d.forest == nil }
