@@ -1,6 +1,6 @@
 # Convenience targets for the iGuard reproduction.
 
-.PHONY: build test bench eval eval-quick examples fmt vet
+.PHONY: build test bench eval eval-quick examples fmt vet lint race
 
 build:
 	go build ./...
@@ -31,3 +31,17 @@ fmt:
 
 vet:
 	go vet ./...
+
+# Full static gate: build, go vet, gofmt (fail on unformatted files),
+# and the project's own iguard-vet analyzers.
+lint: build vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	go run ./cmd/iguard-vet ./...
+
+# Race-detector pass over the whole module (slow: experiments re-run
+# the evaluation pipeline under the detector).
+race:
+	go test -race ./...

@@ -1,0 +1,24 @@
+// Command iguard-vet runs the project's custom static-analysis suite
+// (internal/analysis) over the module: determinism (no global RNG, no
+// wall clock, no unordered map iteration in library code), error
+// hygiene (no discarded errors, no panic(err)), numeric safety (no
+// exact float equality), and output hygiene (no printing from library
+// code).
+//
+// Usage:
+//
+//	iguard-vet [-json] [-determinism=false] [...] [packages]
+//
+// It exits 0 when clean, 1 on findings, 2 on load errors, so it slots
+// directly into `make lint` and CI.
+package main
+
+import (
+	"os"
+
+	"iguard/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Execute(os.Args[1:], os.Stdout, os.Stderr))
+}

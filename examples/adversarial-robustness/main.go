@@ -83,8 +83,14 @@ func main() {
 			ifPreds = append(ifPreds, forest.Predict(prep.Transform(s.FL)))
 			igPreds = append(igPreds, det.ClassifyFlow(s.FL))
 		}
-		fmt.Printf("%-28s %-14.3f %-14.3f\n", scenario.name,
-			metrics.MacroF1Score(ifPreds, truths),
-			metrics.MacroF1Score(igPreds, truths))
+		ifF1, err := metrics.MacroF1Score(ifPreds, truths)
+		if err != nil {
+			log.Fatal(err)
+		}
+		igF1, err := metrics.MacroF1Score(igPreds, truths)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %-14.3f %-14.3f\n", scenario.name, ifF1, igF1)
 	}
 }

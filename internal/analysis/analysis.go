@@ -1,0 +1,179 @@
+// Package analysis implements iguard-vet: a stdlib-only static-analysis
+// framework (go/ast, go/parser, go/types, go/token — no golang.org/x/tools)
+// that enforces the project invariants the iGuard reproduction depends on
+// but which ordinary `go vet` cannot see:
+//
+//   - determinism: library code (internal/…) must not consult the shared
+//     global RNG, wall-clock time, or unordered map iteration — every
+//     stage of the pipeline (autoencoder training, forest growth, leaf
+//     distillation, rule compilation) must be bit-for-bit reproducible
+//     from its explicit seed.
+//   - errcheck: library code must not discard error returns or panic
+//     with an error value; errors flow to the caller.
+//   - floatcompare: exact ==/!= between floating-point operands is
+//     almost always a latent bug in threshold/score code.
+//   - printcheck: library code never writes to stdout; output belongs
+//     to cmd/ and examples/.
+//
+// Findings can be suppressed per line with a directive comment, either
+// on the offending line or on the line directly above it:
+//
+//	//iguard:sorted         — map iteration whose order cannot escape
+//	//iguard:allow(name)    — generic per-analyzer escape hatch
+//
+// The driver lives in cmd/iguard-vet.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned and attributed to an analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the canonical "file:line:col: [analyzer] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// LibraryOnly restricts the analyzer to internal/… packages; cmd/,
+	// examples/ and the root package are exempt.
+	LibraryOnly bool
+	Run         func(*Pass)
+}
+
+// All returns the full suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, ErrCheck, FloatCompare, PrintCheck}
+}
+
+// Pass hands one package to one analyzer and collects its findings.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// RunAnalyzer applies one analyzer to one package, honouring suppression
+// directives, and returns the surviving diagnostics.
+func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) { out = append(out, d) }}
+	a.Run(pass)
+	return out
+}
+
+// Reportf records a finding unless an //iguard:allow(<analyzer>) directive
+// covers the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Suppressed(pos, "allow("+p.Analyzer.Name+")") {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Suppressed reports whether the named directive appears on the line of
+// pos or on the line directly above it.
+func (p *Pass) Suppressed(pos token.Pos, directive string) bool {
+	position := p.Pkg.Fset.Position(pos)
+	lines := p.Pkg.directives[position.Filename]
+	for _, d := range lines[position.Line] {
+		if d == directive {
+			return true
+		}
+	}
+	for _, d := range lines[position.Line-1] {
+		if d == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeOf returns the type of an expression, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// PkgFunc resolves a call of the form pkg.Fn where pkg is an imported
+// package identifier, returning the package import path and function
+// name. ok is false for method calls, locals, and non-selector calls.
+func (p *Pass) PkgFunc(call *ast.CallExpr) (pkgPath, fn string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := p.Pkg.Info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// IsBuiltin reports whether the call invokes the named predeclared
+// builtin (panic, println, …) rather than a shadowing local.
+func (p *Pass) IsBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := p.Pkg.Info.Uses[id]
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// scanDirectives extracts //iguard: directive comments from a file,
+// keyed by the line the comment sits on.
+func scanDirectives(fset *token.FileSet, f *ast.File) map[int][]string {
+	out := map[int][]string{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, "iguard:") {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, d := range strings.Fields(strings.TrimPrefix(text, "iguard:")) {
+				out[line] = append(out[line], d)
+			}
+		}
+	}
+	return out
+}
+
+// SortDiagnostics orders findings by file, line, column, then analyzer,
+// so driver output is stable across runs.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureLoader is shared across tests: the source importer re-checks
+// the standard library per loader, so one loader per test binary keeps
+// the suite fast.
+var (
+	fixtureOnce   sync.Once
+	fixtureLd     *Loader
+	fixtureLdErr  error
+	fixtureModDir string
+)
+
+func fixtureLoaderFor(t *testing.T) *Loader {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureModDir, fixtureLdErr = FindModuleRoot(".")
+		if fixtureLdErr != nil {
+			return
+		}
+		fixtureLd, fixtureLdErr = NewLoader(fixtureModDir)
+	})
+	if fixtureLdErr != nil {
+		t.Fatalf("loader: %v", fixtureLdErr)
+	}
+	return fixtureLd
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	ld := fixtureLoaderFor(t)
+	pkg, err := ld.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+// wantMarkers parses `// want:<analyzer>` comments out of a fixture,
+// returning the expected (file:line -> analyzer -> count) multiset.
+func wantMarkers(t *testing.T, pkg *Package) map[string]map[string]int {
+	t.Helper()
+	want := map[string]map[string]int{}
+	entries, err := os.ReadDir(pkg.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		full := filepath.Join(pkg.Dir, e.Name())
+		data, err := os.ReadFile(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, field := range strings.Fields(line) {
+				name, ok := strings.CutPrefix(field, "want:")
+				if !ok {
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", full, i+1)
+				if want[key] == nil {
+					want[key] = map[string]int{}
+				}
+				want[key][name]++
+			}
+		}
+	}
+	return want
+}
+
+// TestFixtures runs the full suite over each fixture package and
+// compares findings against the want: markers, both directions.
+func TestFixtures(t *testing.T) {
+	for _, name := range []string{"determbad", "errbad", "floatbad", "printbad", "clean"} {
+		t.Run(name, func(t *testing.T) {
+			pkg := loadFixture(t, name)
+			want := wantMarkers(t, pkg)
+			got := map[string]map[string]int{}
+			for _, a := range All() {
+				for _, d := range RunAnalyzer(a, pkg) {
+					key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+					if got[key] == nil {
+						got[key] = map[string]int{}
+					}
+					got[key][d.Analyzer]++
+					if d.Pos.Column <= 0 {
+						t.Errorf("%s: missing column in position", d)
+					}
+				}
+			}
+			for key, analyzers := range want {
+				for an, n := range analyzers {
+					if got[key][an] != n {
+						t.Errorf("%s: want %d %s finding(s), got %d", key, n, an, got[key][an])
+					}
+				}
+			}
+			for key, analyzers := range got {
+				for an, n := range analyzers {
+					if want[key][an] != n {
+						t.Errorf("%s: unexpected %s finding (got %d, want %d)", key, an, n, want[key][an])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLibraryScope checks that LibraryOnly analyzers skip cmd-style
+// packages: the same forbidden constructs are legal outside internal/.
+func TestLibraryScope(t *testing.T) {
+	pkg := loadFixture(t, "determbad")
+	if !pkg.IsLibrary("iguard") {
+		t.Fatalf("fixture %s not classified as library code", pkg.ImportPath)
+	}
+	cmdPkg := &Package{ImportPath: "iguard/cmd/iguard-train"}
+	if cmdPkg.IsLibrary("iguard") {
+		t.Fatal("cmd/ package classified as library code")
+	}
+	rootPkg := &Package{ImportPath: "iguard"}
+	if rootPkg.IsLibrary("iguard") {
+		t.Fatal("module root classified as library code")
+	}
+}
+
+// TestSuppressionOnPrecedingLine checks that a directive on the line
+// above the statement suppresses the finding too.
+func TestSuppressionOnPrecedingLine(t *testing.T) {
+	dir := t.TempDir()
+	src := `package tmpfix
+
+func Exact(a, b float64) bool {
+	//iguard:allow(floatcompare) exact identity intended
+	return a == b
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "tmpfix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A package outside the module tree still loads; its synthetic
+	// import path is derived relative to the module root.
+	ld := fixtureLoaderFor(t)
+	pkg, err := ld.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := RunAnalyzer(FloatCompare, pkg); len(diags) != 0 {
+		t.Fatalf("preceding-line directive ignored: %v", diags)
+	}
+}
+
+// TestDiagnosticString checks the canonical rendering format.
+func TestDiagnosticString(t *testing.T) {
+	pkg := loadFixture(t, "floatbad")
+	diags := RunAnalyzer(FloatCompare, pkg)
+	if len(diags) == 0 {
+		t.Fatal("no findings on floatbad")
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "[floatcompare]") || !strings.Contains(s, "floatbad.go:") {
+		t.Errorf("diagnostic format = %q", s)
+	}
+}

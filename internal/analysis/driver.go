@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Exit codes of the driver.
+const (
+	ExitClean    = 0 // no findings
+	ExitFindings = 1 // at least one finding
+	ExitError    = 2 // usage, load, or type-check failure
+)
+
+// JSONFinding is the -json output shape, one element per diagnostic.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Execute runs the iguard-vet driver: it loads and type-checks every
+// package named by the patterns (default ./...), applies the enabled
+// analyzers, and prints findings as "file:line:col: [analyzer] message"
+// lines (or a JSON array with -json). The returned code is the process
+// exit status: 0 clean, 1 findings, 2 load/usage error.
+func Execute(args []string, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		// A failed write to stderr has nowhere left to be reported; both
+		// paths exit with the same status.
+		if _, werr := io.WriteString(stderr, "iguard-vet: "+err.Error()+"\n"); werr != nil {
+			return ExitError
+		}
+		return ExitError
+	}
+	fs := flag.NewFlagSet("iguard-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	enabled := map[string]*bool{}
+	for _, a := range All() {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
+	}
+	fs.Usage = func() {
+		if _, err := io.WriteString(stderr, "usage: iguard-vet [flags] [packages]\n\nAnalyzers run over the packages (default ./...); findings exit 1.\n\n"); err != nil {
+			return
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		return fail(err)
+	}
+	diags, err := Run(cwd, patterns, enabled)
+	if err != nil {
+		return fail(err)
+	}
+
+	var out strings.Builder
+	if *jsonOut {
+		findings := make([]JSONFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, JSONFinding{
+				File:     relPath(cwd, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(&out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return fail(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(&out, "%s:%d:%d: [%s] %s\n", relPath(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if _, err := io.WriteString(stdout, out.String()); err != nil {
+		return fail(err)
+	}
+	if len(diags) > 0 {
+		return ExitFindings
+	}
+	return ExitClean
+}
+
+// Run loads the patterns relative to cwd and applies every analyzer
+// whose entry in enabled is true (a missing entry means enabled),
+// returning sorted diagnostics.
+func Run(cwd string, patterns []string, enabled map[string]*bool) ([]Diagnostic, error) {
+	modRoot, err := FindModuleRoot(cwd)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := NewLoader(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.Load(cwd, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range All() {
+			if on, ok := enabled[a.Name]; ok && on != nil && !*on {
+				continue
+			}
+			if a.LibraryOnly && !pkg.IsLibrary(loader.ModPath) {
+				continue
+			}
+			diags = append(diags, RunAnalyzer(a, pkg)...)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// relPath shortens filename relative to base for readable output,
+// falling back to the absolute path.
+func relPath(base, filename string) string {
+	if rel, err := filepath.Rel(base, filename); err == nil && !filepath.IsAbs(rel) {
+		return rel
+	}
+	return filename
+}

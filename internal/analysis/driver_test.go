@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestDriverFindingsExit checks the text output path: findings print as
+// file:line:col: [analyzer] message and the driver exits 1.
+func TestDriverFindingsExit(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := Execute([]string{"./testdata/src/errbad"}, &out, &errb)
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, ExitFindings, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("findings = %d, want 4:\n%s", len(lines), out.String())
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "errbad.go:") || !strings.Contains(line, ": [errcheck] ") {
+			t.Errorf("malformed finding line %q", line)
+		}
+		// file:line:col prefix with numeric positions.
+		parts := strings.SplitN(line, ": [", 2)
+		pos := strings.Split(parts[0], ":")
+		if len(pos) < 3 {
+			t.Errorf("finding %q lacks file:line:col", line)
+		}
+	}
+}
+
+// TestDriverJSON checks the -json output shape and that positions map
+// to the real fixture lines.
+func TestDriverJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := Execute([]string{"-json", "./testdata/src/printbad"}, &out, &errb)
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, ExitFindings, errb.String())
+	}
+	var findings []JSONFinding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings in JSON output")
+	}
+	seenPrint := false
+	for _, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Col <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete finding %+v", f)
+		}
+		if f.Analyzer == "printcheck" {
+			seenPrint = true
+		}
+	}
+	if !seenPrint {
+		t.Error("printcheck findings missing from JSON output")
+	}
+}
+
+// TestDriverCleanExit checks the zero-findings path.
+func TestDriverCleanExit(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := Execute([]string{"./testdata/src/clean"}, &out, &errb)
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, ExitClean, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output: %s", out.String())
+	}
+}
+
+// TestDriverDisableFlag checks per-analyzer disable flags.
+func TestDriverDisableFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := Execute([]string{"-errcheck=false", "./testdata/src/errbad"}, &out, &errb)
+	if code != ExitClean {
+		t.Fatalf("exit = %d with errcheck disabled, want %d\n%s", code, ExitClean, out.String())
+	}
+	out.Reset()
+	code = Execute([]string{"-printcheck=false", "-errcheck=false", "./testdata/src/printbad"}, &out, &errb)
+	if code != ExitClean {
+		t.Fatalf("exit = %d with printcheck+errcheck disabled, want %d\n%s", code, ExitClean, out.String())
+	}
+}
+
+// TestDriverBadUsage checks flag errors exit 2.
+func TestDriverBadUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Execute([]string{"-no-such-flag"}, &out, &errb); code != ExitError {
+		t.Fatalf("exit = %d for unknown flag, want %d", code, ExitError)
+	}
+	if code := Execute([]string{"./no/such/dir"}, &out, &errb); code != ExitError {
+		t.Fatalf("exit = %d for missing package, want %d", code, ExitError)
+	}
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck enforces error hygiene in library code: error returns are
+// neither silently dropped (call used as a statement, or assigned to
+// the blank identifier) nor re-raised as panics. Library errors flow to
+// the caller; only cmd/ and examples/ may decide to abort the process.
+//
+// Deliberately out of scope: `defer f.Close()` (a DeferStmt, not an
+// ExprStmt) — the idiomatic read-path cleanup — test files, which are
+// never loaded, and writes to infallible writers (strings.Builder,
+// bytes.Buffer, the hash.Hash family), whose Write methods are
+// documented never to return an error.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc: "flag discarded error returns (statement calls, _ assignments) " +
+		"and panic(err) in internal/ packages",
+	LibraryOnly: true,
+	Run:         runErrCheck,
+}
+
+func runErrCheck(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && p.returnsError(call) && !p.infallibleWrite(call) {
+					p.Reportf(n.Pos(), "result of %s contains an error that is discarded; handle or return it", callName(call))
+				}
+			case *ast.AssignStmt:
+				p.checkBlankErrorAssign(n)
+			case *ast.CallExpr:
+				p.checkPanicErr(n)
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call yields an error (alone or as a
+// tuple component).
+func (p *Pass) returnsError(call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// checkBlankErrorAssign flags `_ = f()` and `v, _ := g()` where the
+// blank slot holds an error produced by a call. Non-call sources
+// (comma-ok type assertions, map indexing, channel receives) are not
+// discarded results and stay legal.
+func (p *Pass) checkBlankErrorAssign(assign *ast.AssignStmt) {
+	// Single multi-value call on the right: align LHS with the tuple.
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		call, isCall := assign.Rhs[0].(*ast.CallExpr)
+		if !isCall {
+			return
+		}
+		tuple, ok := p.TypeOf(call).(*types.Tuple)
+		if !ok || tuple.Len() != len(assign.Lhs) {
+			return
+		}
+		for i, lhs := range assign.Lhs {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				p.Reportf(lhs.Pos(), "error result of %s assigned to _; handle or return it", exprName(call))
+			}
+		}
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		if i >= len(assign.Rhs) {
+			break
+		}
+		if _, isCall := assign.Rhs[i].(*ast.CallExpr); !isCall {
+			continue
+		}
+		if isBlank(lhs) && isErrorType(p.TypeOf(assign.Rhs[i])) {
+			p.Reportf(lhs.Pos(), "error value of %s assigned to _; handle or return it", exprName(assign.Rhs[i]))
+		}
+	}
+}
+
+// infallibleWrite reports whether the call is a write that is documented
+// never to fail: a method on strings.Builder / bytes.Buffer / a hash
+// implementation, or an fmt.Fprint* into a Builder or Buffer.
+func (p *Pass) infallibleWrite(call *ast.CallExpr) bool {
+	if pkgPath, fn, ok := p.PkgFunc(call); ok {
+		if pkgPath == "fmt" && (fn == "Fprint" || fn == "Fprintf" || fn == "Fprintln") && len(call.Args) > 0 {
+			return isInfallibleWriterType(p.TypeOf(call.Args[0]))
+		}
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return isInfallibleWriterType(p.TypeOf(sel.X))
+}
+
+// isInfallibleWriterType recognises strings.Builder, bytes.Buffer, and
+// any named type from the hash package tree (hash.Hash32 etc. document
+// "Write never returns an error").
+func isInfallibleWriterType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg := named.Obj().Pkg().Path()
+	name := named.Obj().Name()
+	switch {
+	case pkg == "strings" && name == "Builder":
+		return true
+	case pkg == "bytes" && name == "Buffer":
+		return true
+	case pkg == "hash" || strings.HasPrefix(pkg, "hash/"):
+		return true
+	}
+	return false
+}
+
+// checkPanicErr flags panic(err): library code converts failures into
+// returned errors, not process aborts.
+func (p *Pass) checkPanicErr(call *ast.CallExpr) {
+	if !p.IsBuiltin(call, "panic") || len(call.Args) != 1 {
+		return
+	}
+	if isErrorType(p.TypeOf(call.Args[0])) {
+		p.Reportf(call.Pos(), "panic(err) in library code; return the error to the caller instead")
+	}
+}
+
+// isErrorType reports whether t is the error interface or a type that
+// implements it (a concrete error implementation is still an error).
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if types.Identical(t, errType) {
+		return true
+	}
+	iface, _ := errType.Underlying().(*types.Interface)
+	return iface != nil && types.Implements(t, iface)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// callName renders a short name for the called function.
+func callName(call *ast.CallExpr) string { return exprName(call) }
+
+func exprName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		return exprName(e.Fun) + "(…)"
+	case *ast.SelectorExpr:
+		return exprName(e.X) + "." + e.Sel.Name
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return exprName(e.X)
+	default:
+		return "call"
+	}
+}

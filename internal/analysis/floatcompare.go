@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCompare flags exact ==/!= between floating-point operands.
+// Threshold and score arithmetic (anomaly scores, RMSE thresholds,
+// quantile boundaries) accumulates rounding error, so exact equality is
+// almost always a latent bug. Where exact comparison is the point —
+// deduplicating identical split values, grouping tied scores — annotate
+// the line with //iguard:allow(floatcompare).
+//
+// Constant-vs-constant comparisons are exempt (they fold at compile
+// time), as are comparisons in _test.go files (never loaded).
+var FloatCompare = &Analyzer{
+	Name:        "floatcompare",
+	Doc:         "flag exact ==/!= comparisons between floating-point operands outside tests",
+	LibraryOnly: false,
+	Run:         runFloatCompare,
+}
+
+func runFloatCompare(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.TypeOf(bin.X)) && !isFloat(p.TypeOf(bin.Y)) {
+				return true
+			}
+			if p.isConst(bin.X) && p.isConst(bin.Y) {
+				return true
+			}
+			p.Reportf(bin.Pos(),
+				"%s compares floating-point values exactly; use an epsilon or annotate with //iguard:allow(floatcompare) if exact identity is intended", bin.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func (p *Pass) isConst(e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,316 @@
+// Package loading: a module-aware, stdlib-only loader. Imports within
+// the module are parsed and type-checked recursively from source; the
+// standard library is resolved through go/importer's source importer.
+// Test files (_test.go) are never loaded — every analyzer in the suite
+// exempts test code, and skipping them keeps external test packages
+// (foo_test) out of the dependency graph.
+
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package plus the side tables the
+// analyzers need.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	// directives maps filename -> line -> //iguard: directives.
+	directives map[string]map[int][]string
+}
+
+// IsLibrary reports whether the package is library code under the
+// module's internal/ tree — the scope most analyzers apply to.
+func (p *Package) IsLibrary(modPath string) bool {
+	return strings.HasPrefix(p.ImportPath, modPath+"/internal/")
+}
+
+// Loader loads and type-checks packages of a single module.
+type Loader struct {
+	Fset    *token.FileSet
+	ModPath string
+	ModRoot string
+
+	pkgs    map[string]*Package // keyed by directory
+	loading map[string]bool
+	std     types.Importer
+}
+
+// NewLoader builds a loader for the module rooted at modRoot, reading
+// the module path from go.mod.
+func NewLoader(modRoot string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModPath: modPath,
+		ModRoot: modRoot,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+		std:     importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+var moduleLine = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading %s: %w", gomod, err)
+	}
+	m := moduleLine.FindSubmatch(data)
+	if m == nil {
+		return "", fmt.Errorf("analysis: no module line in %s", gomod)
+	}
+	return string(m[1]), nil
+}
+
+// FindModuleRoot walks up from dir to the enclosing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load expands the patterns (a directory, or dir/... for a recursive
+// walk) relative to cwd and returns the loaded packages in a stable
+// (import path) order.
+func (l *Loader) Load(cwd string, patterns ...string) ([]*Package, error) {
+	var dirs []string
+	for _, pat := range patterns {
+		expanded, err := l.expand(cwd, pat)
+		if err != nil {
+			return nil, err
+		}
+		dirs = append(dirs, expanded...)
+	}
+	var pkgs []*Package
+	seen := map[string]bool{}
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[pkg.ImportPath] {
+			seen[pkg.ImportPath] = true
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// expand resolves one pattern to package directories. Walks skip
+// testdata, vendor, hidden and underscore-prefixed directories, matching
+// the go tool's convention, so analyzer fixtures never leak into ./...
+func (l *Loader) expand(cwd, pattern string) ([]string, error) {
+	recursive := false
+	if pattern == "..." || strings.HasSuffix(pattern, "/...") {
+		recursive = true
+		pattern = strings.TrimSuffix(strings.TrimSuffix(pattern, "..."), "/")
+		if pattern == "" {
+			pattern = "."
+		}
+	}
+	base := pattern
+	if !filepath.IsAbs(base) {
+		base = filepath.Join(cwd, base)
+	}
+	if !recursive {
+		if !hasGoFiles(base) {
+			return nil, fmt.Errorf("analysis: no Go files in %s", base)
+		}
+		return []string{base}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks the package in one directory,
+// memoizing so shared dependencies are checked once.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[dir]; ok {
+		return pkg, nil
+	}
+	if l.loading[dir] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", dir)
+	}
+	l.loading[dir] = true
+	defer delete(l.loading, dir)
+
+	importPath := l.importPathFor(dir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	directives := map[string]map[int][]string{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if isIgnored(f) {
+			continue
+		}
+		files = append(files, f)
+		directives[full] = scanDirectives(l.Fset, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(l.importPkg),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		directives: directives,
+	}
+	l.pkgs[dir] = pkg
+	return pkg, nil
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil || rel == "." {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+// importPkg resolves an import path: module-local packages recurse into
+// LoadDir, everything else is the standard library via the source
+// importer.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		pkg, err := l.LoadDir(filepath.Join(l.ModRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// isIgnored reports whether the file carries a "//go:build ignore"
+// constraint (helper scripts are not part of the package).
+func isIgnored(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == "go:build ignore" || strings.HasPrefix(text, "+build ignore") {
+				return true
+			}
+		}
+	}
+	return false
+}

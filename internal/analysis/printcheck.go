@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// PrintCheck keeps library code silent: internal/ packages never write
+// to stdout. Experiment tables and progress logging belong to cmd/ and
+// examples/, where output is the point; a library that prints corrupts
+// machine-readable output (JSON mode, CSV exports) and cannot be
+// embedded.
+var PrintCheck = &Analyzer{
+	Name:        "printcheck",
+	Doc:         "forbid fmt.Print/Printf/Println and the println/print builtins in internal/ packages",
+	LibraryOnly: true,
+	Run:         runPrintCheck,
+}
+
+var fmtPrinters = map[string]bool{
+	"Print":   true,
+	"Printf":  true,
+	"Println": true,
+}
+
+func runPrintCheck(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkgPath, fn, ok := p.PkgFunc(call); ok && pkgPath == "fmt" && fmtPrinters[fn] {
+				p.Reportf(call.Pos(), "fmt.%s writes to stdout from library code; return the string or take an io.Writer", fn)
+				return true
+			}
+			for _, builtin := range []string{"println", "print"} {
+				if p.IsBuiltin(call, builtin) {
+					p.Reportf(call.Pos(), "builtin %s writes to stderr from library code; return the string or take an io.Writer", builtin)
+				}
+			}
+			return true
+		})
+	}
+}

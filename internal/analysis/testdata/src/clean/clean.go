@@ -1,0 +1,49 @@
+// Package clean is an iguard-vet fixture with zero findings: the
+// sanctioned patterns for randomness, time, errors, floats, and output.
+package clean
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Deterministic seeds its generator explicitly.
+func Deterministic(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Elapsed threads timestamps through instead of consulting the clock.
+func Elapsed(start, end time.Time) time.Duration {
+	return end.Sub(start)
+}
+
+// SortedSum iterates a map in sorted key order.
+func SortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m { //iguard:sorted keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// Describe propagates errors and keeps output in the caller's hands.
+func Describe(m map[string]float64) (string, error) {
+	if len(m) == 0 {
+		return "", fmt.Errorf("clean: empty input")
+	}
+	return fmt.Sprintf("sum=%.3f", SortedSum(m)), nil
+}
+
+// Near compares floats with an epsilon.
+func Near(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}

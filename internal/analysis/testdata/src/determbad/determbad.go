@@ -1,0 +1,57 @@
+// Package determbad is an iguard-vet fixture: every construction the
+// determinism analyzer must flag. Expected findings are marked with
+// analyzer-name markers on the offending lines (see analysis_test.go).
+package determbad
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// GlobalRNG draws from the shared global generator.
+func GlobalRNG() int {
+	rand.Seed(42)                                     // want:determinism
+	a := rand.Intn(10)                                // want:determinism
+	b := rand.Float64()                               // want:determinism
+	rand.Shuffle(len([]int{1, 2}), func(i, j int) {}) // want:determinism
+	return a + int(b)
+}
+
+// WallClock consults the wall clock.
+func WallClock(t0 time.Time) time.Duration {
+	now := time.Now()   // want:determinism
+	d := time.Since(t0) // want:determinism
+	_ = now
+	return d
+}
+
+// TimeSeeded constructs a generator whose seed depends on the clock.
+func TimeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want:determinism want:determinism
+}
+
+// MapOrder iterates a map without sorting or suppression.
+func MapOrder(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want:determinism
+		out = append(out, v)
+	}
+	return out
+}
+
+// SeededOK is the sanctioned pattern: explicit seed, no finding.
+func SeededOK(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// SortedOK iterates a map under the suppression directive.
+func SortedOK(m map[string]int) []string {
+	var keys []string
+	for k := range m { //iguard:sorted keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,66 @@
+// Package errbad is an iguard-vet fixture: every construction the
+// errcheck analyzer must flag, plus the idioms it must leave alone.
+package errbad
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func valueAndErr() (int, error) { return 0, errors.New("boom") }
+
+// Discarded drops errors in both flagged forms.
+func Discarded() int {
+	mayFail()             // want:errcheck
+	_ = mayFail()         // want:errcheck
+	v, _ := valueAndErr() // want:errcheck
+	return v
+}
+
+// PanicsWithError re-raises an error as a panic.
+func PanicsWithError() {
+	if err := mayFail(); err != nil {
+		panic(err) // want:errcheck
+	}
+}
+
+// Handled is the sanctioned pattern: no finding.
+func Handled() error {
+	if err := mayFail(); err != nil {
+		return fmt.Errorf("errbad: %w", err)
+	}
+	v, err := valueAndErr()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+// PanicsWithMessage panics with a string: programmer errors may abort.
+func PanicsWithMessage(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("errbad: negative %d", n))
+	}
+}
+
+// InfallibleWriters exercises the documented exemptions.
+func InfallibleWriters() string {
+	var sb strings.Builder
+	sb.WriteString("a")
+	fmt.Fprintf(&sb, "%d", 1)
+	return sb.String()
+}
+
+// TypeAssertOK: a comma-ok type assertion on an error is not a discard.
+func TypeAssertOK(err error) bool {
+	_, ok := err.(*customErr)
+	return ok
+}
+
+type customErr struct{}
+
+func (*customErr) Error() string { return "custom" }

@@ -1,0 +1,38 @@
+// Package floatbad is an iguard-vet fixture for the floatcompare
+// analyzer.
+package floatbad
+
+import "math"
+
+// Exact compares floats exactly in both flagged forms.
+func Exact(a, b float64) bool {
+	if a == b { // want:floatcompare
+		return true
+	}
+	return a != b+1 // want:floatcompare
+}
+
+// Mixed flags comparisons where only one side is a non-constant float.
+func Mixed(a float64) bool {
+	return a == 0 // want:floatcompare
+}
+
+// Epsilon is the sanctioned pattern: no finding.
+func Epsilon(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+// Suppressed carries the explicit escape hatch.
+func Suppressed(a, b float64) bool {
+	return a == b //iguard:allow(floatcompare) exact identity intended
+}
+
+// ConstFold compares two compile-time constants: exempt.
+func ConstFold() bool {
+	const x = 0.1
+	const y = 0.2
+	return x+y == 0.3
+}
+
+// Ints stay out of scope entirely.
+func Ints(a, b int) bool { return a == b }

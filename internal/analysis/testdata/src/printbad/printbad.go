@@ -1,0 +1,20 @@
+// Package printbad is an iguard-vet fixture for the printcheck
+// analyzer. fmt.Print* also discards an (n, error) result, so those
+// lines carry an errcheck marker too.
+package printbad
+
+import "fmt"
+
+// Noisy writes to stdout from library code.
+func Noisy(x int) {
+	fmt.Println("x =", x) // want:printcheck want:errcheck
+	fmt.Printf("%d\n", x) // want:printcheck want:errcheck
+	fmt.Print(x)          // want:printcheck want:errcheck
+	println("debug", x)   // want:printcheck
+}
+
+// Quiet is the sanctioned pattern: build the string, let the caller
+// decide where it goes.
+func Quiet(x int) string {
+	return fmt.Sprintf("x = %d", x)
+}

@@ -194,7 +194,7 @@ func norm(v []float64) float64 {
 
 func normalise(v []float64) {
 	n := norm(v)
-	if n == 0 {
+	if n == 0 { //iguard:allow(floatcompare) exact-zero sentinel
 		return
 	}
 	for i := range v {
@@ -360,7 +360,7 @@ func kmeansFrom(x [][]float64, cents [][]float64, iters int) [][]float64 {
 			}
 			for j := range sums[ci] {
 				nv := sums[ci][j] / float64(counts[ci])
-				if nv != cents[ci][j] {
+				if nv != cents[ci][j] { //iguard:allow(floatcompare) k-means convergence: any movement counts
 					moved = true
 				}
 				cents[ci][j] = nv
@@ -378,7 +378,7 @@ func kmeansFrom(x [][]float64, cents [][]float64, iters int) [][]float64 {
 // or reject cluster splits.
 func bic(x [][]float64, cents [][]float64) float64 {
 	n := float64(len(x))
-	if n == 0 {
+	if n == 0 { //iguard:allow(floatcompare) exact-zero sentinel
 		return math.Inf(-1)
 	}
 	dim := float64(len(x[0]))
@@ -401,7 +401,7 @@ func bic(x [][]float64, cents [][]float64) float64 {
 	}
 	ll := 0.0
 	for _, cn := range counts {
-		if cn == 0 {
+		if cn == 0 { //iguard:allow(floatcompare) exact-zero sentinel
 			continue
 		}
 		ll += cn*math.Log(cn) - cn*math.Log(n) -

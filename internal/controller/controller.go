@@ -50,6 +50,14 @@ type Stats struct {
 
 // Controller is the control-plane agent. It is safe for concurrent use
 // (digests may arrive from multiple pipelines).
+//
+// Locking contract: mu guards order, index, and stats — every exported
+// method acquires it for its full body, and methods with the *Locked
+// suffix require it held. sw, capacity, and policy are set by New and
+// never written afterwards, so they may be read without the lock; the
+// Switch implementation must provide its own synchronisation (switchsim.
+// Switch does), because it is invoked with mu held and from whichever
+// goroutine delivered the digest.
 type Controller struct {
 	mu       sync.Mutex
 	sw       Switch

@@ -175,3 +175,40 @@ func TestConcurrentDigests(t *testing.T) {
 		t.Errorf("digests = %d", got)
 	}
 }
+
+// TestConcurrentMixedOps hammers every exported method from competing
+// goroutines; run with -race to validate the locking contract.
+func TestConcurrentMixedOps(t *testing.T) {
+	fs := newFakeSwitch()
+	c := New(fs, 32, LRU)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(3)
+		go func(base byte) {
+			defer wg.Done()
+			for j := 0; j < 64; j++ {
+				c.OnDigest(switchsim.Digest{Key: key(base*64 + byte(j)), Label: 1})
+			}
+		}(byte(i))
+		go func(base byte) {
+			defer wg.Done()
+			for j := 0; j < 64; j++ {
+				c.Touch(key(base*64 + byte(j)))
+			}
+		}(byte(i))
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 64; j++ {
+				_ = c.Stats()
+				_ = c.BlacklistLen()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Stats().DigestsReceived; got != 256 {
+		t.Errorf("digests = %d", got)
+	}
+	if got := c.BlacklistLen(); got != 32 {
+		t.Errorf("blacklist = %d, want capacity 32", got)
+	}
+}

@@ -477,7 +477,7 @@ func bestSplit(ls labelledSet, dim, maxPerFeature int) (bestQ int, bestP float64
 		var bounds []boundary
 		for i := 0; i < total; {
 			j := i
-			for j < total && vals[j].v == vals[i].v {
+			for j < total && vals[j].v == vals[i].v { //iguard:allow(floatcompare) tie grouping wants exact identity
 				leftN++
 				leftMal += vals[j].label
 				j++
@@ -742,7 +742,7 @@ func (f *Forest) SplitValues() [][]float64 {
 	}
 	out := make([][]float64, f.Dim)
 	for i, m := range seen {
-		for v := range m {
+		for v := range m { //iguard:sorted values are collected then sorted below
 			out[i] = append(out[i], v)
 		}
 		sort.Float64s(out[i])

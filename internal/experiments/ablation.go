@@ -33,7 +33,7 @@ func (r *AblationResult) String() string {
 	sb.WriteString(r.Title + "\n")
 	fmt.Fprintf(&sb, "%-34s %9s %9s %9s %8s  %s\n", "variant", "macroF1", "PRAUC", "ROCAUC", "rules", "")
 	for _, row := range r.Rows {
-		if row.MacroF1 == 0 && row.PRAUC == 0 && row.ROCAUC == 0 {
+		if row.MacroF1 == 0 && row.PRAUC == 0 && row.ROCAUC == 0 { //iguard:allow(floatcompare) exact-zero sentinel for rule-count-only rows
 			// Rule-count-only study (merging is detection-invariant).
 			fmt.Fprintf(&sb, "%-34s %9s %9s %9s %8d  %s\n",
 				row.Variant, "-", "-", "-", row.Rules, row.Extra)

@@ -289,7 +289,11 @@ func (l *Lab) buildWith(cfg LabConfig, attack traffic.AttackName, n int) (*Attac
 			for i, x := range ds.ValX {
 				preds[i] = candidate.Predict(x)
 			}
-			if f1 := metricsMacroF1(preds, ds.ValY); f1 > bestF1 {
+			f1, err := metrics.MacroF1Score(preds, ds.ValY)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: validation F1 (k=%d, q=%v): %w", k, q, err)
+			}
+			if f1 > bestF1 {
 				bestF1 = f1
 				bestQ = q
 				ctx.Guard = candidate
@@ -323,12 +327,6 @@ func (l *Lab) buildWith(cfg LabConfig, attack traffic.AttackName, n int) (*Attac
 		return nil, err
 	}
 	return ctx, nil
-}
-
-// metricsMacroF1 is a tiny local wrapper to avoid importing the metrics
-// package name into the hot loop above.
-func metricsMacroF1(preds, truths []int) float64 {
-	return metrics.MacroF1Score(preds, truths)
 }
 
 // benignOnly filters X down to label-0 rows.

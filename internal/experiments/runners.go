@@ -448,7 +448,10 @@ func (l *Lab) RunTable2() (*AdvResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		atk := traffic.MustGenerateAttack(a, l.Cfg.Data.Seed+500, 24)
+		atk, err := traffic.GenerateAttack(a, l.Cfg.Data.Seed+500, 24)
+		if err != nil {
+			return nil, err
+		}
 		slow := traffic.LowRate(atk, 100)
 		benign := traffic.GenerateBenign(l.Cfg.Data.Seed+501, l.Cfg.Data.BenignTestFlows)
 		tr := benign.Merge(slow)
@@ -477,7 +480,10 @@ func (l *Lab) RunTable2() (*AdvResult, error) {
 func (l *Lab) runPoison(attack traffic.AttackName, frac float64) (AdvCell, error) {
 	cfg := l.Cfg
 	cfg.Data.Seed += 7000 // disjoint seeds for the poisoned world
-	poisonSrc := traffic.MustGenerateAttack(attack, cfg.Data.Seed+1, 200)
+	poisonSrc, err := traffic.GenerateAttack(attack, cfg.Data.Seed+1, 200)
+	if err != nil {
+		return AdvCell{}, err
+	}
 	benignTrain := traffic.GenerateBenign(cfg.Data.Seed+2, cfg.Data.BenignTrainFlows)
 	poisoned := traffic.Poison(benignTrain, poisonSrc, frac, cfg.Data.Seed+3)
 
@@ -519,7 +525,10 @@ func (l *Lab) runPoison(attack traffic.AttackName, frac float64) (AdvCell, error
 	poisonedCtx.PLCompiled = ctx.PLCompiled
 
 	benignTest := traffic.GenerateBenign(cfg.Data.Seed+8, cfg.Data.BenignTestFlows)
-	atkTest := traffic.MustGenerateAttack(attack, cfg.Data.Seed+9, 40)
+	atkTest, err := traffic.GenerateAttack(attack, cfg.Data.Seed+9, 40)
+	if err != nil {
+		return AdvCell{}, err
+	}
 	tr := benignTest.Merge(atkTest)
 	poisonedCtx.Data.TestTrace = tr
 
@@ -540,7 +549,10 @@ func (l *Lab) RunTable3() (*AdvResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			atk := traffic.MustGenerateAttack(a, l.Cfg.Data.Seed+600, 24)
+			atk, err := traffic.GenerateAttack(a, l.Cfg.Data.Seed+600, 24)
+			if err != nil {
+				return nil, err
+			}
 			evaded := traffic.Evade(atk, ratio.bpa, l.Cfg.Data.Seed+601)
 			benign := traffic.GenerateBenign(l.Cfg.Data.Seed+602, l.Cfg.Data.BenignTestFlows)
 			tr := benign.Merge(evaded)
@@ -630,7 +642,7 @@ func (l *Lab) RunFig10(attacks []traffic.AttackName) (*Fig10Result, error) {
 
 		res.Rows = append(res.Rows, row)
 	}
-	for k := range res.Average {
+	for k := range res.Average { //iguard:sorted in-place scaling of every value, order-independent
 		res.Average[k] /= float64(len(attacks))
 	}
 	return res, nil

@@ -233,7 +233,7 @@ func (e *Extractor) Feed(p *netpkt.Packet) []Sample {
 	// order is made deterministic (sorted by key) so downstream training
 	// is bit-reproducible.
 	var expired []FlowKey
-	for key, fe := range e.flows {
+	for key, fe := range e.flows { //iguard:sorted keys are collected then sorted before emission
 		if fe.state.IdleFor(now, e.Timeout) {
 			expired = append(expired, key)
 		}
@@ -263,7 +263,7 @@ func (e *Extractor) Feed(p *netpkt.Packet) []Sample {
 // (key-sorted) order.
 func (e *Extractor) Flush() []Sample {
 	keys := make([]FlowKey, 0, len(e.flows))
-	for key := range e.flows {
+	for key := range e.flows { //iguard:sorted keys are collected then sorted before emission
 		keys = append(keys, key)
 	}
 	sortKeys(keys)

@@ -231,7 +231,7 @@ func (f *Forest) ExpectedPathLength(x []float64) float64 {
 // more anomalous.
 func (f *Forest) Score(x []float64) float64 {
 	c := C(f.SubSample)
-	if c == 0 {
+	if c == 0 { //iguard:allow(floatcompare) exact-zero sentinel
 		return 0.5
 	}
 	return math.Pow(2, -f.ExpectedPathLength(x)/c)
@@ -311,7 +311,7 @@ func (f *Forest) SplitValues() [][]float64 {
 	}
 	out := make([][]float64, f.Dim)
 	for i, m := range seen {
-		for v := range m {
+		for v := range m { //iguard:sorted values are collected then sorted below
 			out[i] = append(out[i], v)
 		}
 		sortFloats(out[i])

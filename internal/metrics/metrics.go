@@ -69,7 +69,7 @@ func (c Confusion) Accuracy() float64 {
 // F1 returns the F1 score of the positive (malicious) class.
 func (c Confusion) F1() float64 {
 	p, r := c.Precision(), c.Recall()
-	if p+r == 0 {
+	if p+r == 0 { //iguard:allow(floatcompare) exact-zero sentinel: both terms are 0 or positive
 		return 0
 	}
 	return 2 * p * r / (p + r)
@@ -107,14 +107,14 @@ func FromPredictions(preds, truths []int) (Confusion, error) {
 }
 
 // MacroF1Score is a convenience wrapper around FromPredictions returning
-// only the macro F1 score. It panics on length mismatch, which is always
-// a programming error.
-func MacroF1Score(preds, truths []int) float64 {
+// only the macro F1 score. Length mismatch between the two slices is
+// reported as an error.
+func MacroF1Score(preds, truths []int) (float64, error) {
 	c, err := FromPredictions(preds, truths)
 	if err != nil {
-		panic(err)
+		return 0, err
 	}
-	return c.MacroF1()
+	return c.MacroF1(), nil
 }
 
 // scored pairs an anomaly score with its ground-truth label for curve
@@ -163,7 +163,7 @@ func ROCAUC(scores []float64, truths []int) float64 {
 	ranks := make([]float64, len(obs))
 	for i := 0; i < len(obs); {
 		j := i
-		for j < len(obs) && obs[j].score == obs[i].score {
+		for j < len(obs) && obs[j].score == obs[i].score { //iguard:allow(floatcompare) tie grouping wants exact identity
 			j++
 		}
 		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
@@ -207,7 +207,7 @@ func PRAUC(scores []float64, truths []int) float64 {
 	for i := 0; i < len(obs); {
 		j := i
 		blockTP, blockFP := 0, 0
-		for j < len(obs) && obs[j].score == obs[i].score {
+		for j < len(obs) && obs[j].score == obs[i].score { //iguard:allow(floatcompare) tie grouping wants exact identity
 			if obs[j].truth == 1 {
 				blockTP++
 			} else {
@@ -260,7 +260,7 @@ func BestF1Threshold(scores []float64, truths []int) (threshold, macroF1 float64
 func dedupFloats(sorted []float64) []float64 {
 	out := sorted[:0]
 	for i, v := range sorted {
-		if i == 0 || v != sorted[i-1] {
+		if i == 0 || v != sorted[i-1] { //iguard:allow(floatcompare) dedup of identical values wants exact identity
 			out = append(out, v)
 		}
 	}
@@ -284,10 +284,17 @@ func (s Summary) String() string {
 }
 
 // Evaluate computes a Summary from anomaly scores, hard predictions and
-// ground truth. scores drive the AUCs while preds drives macro F1.
+// ground truth. scores drive the AUCs while preds drives macro F1. Like
+// ROCAUC and PRAUC it panics (with a descriptive message) on length
+// mismatch, which is always a programming error in the caller; use
+// MacroF1Score/FromPredictions for the error-returning path.
 func Evaluate(scores []float64, preds, truths []int) Summary {
+	f1, err := MacroF1Score(preds, truths)
+	if err != nil {
+		panic(fmt.Sprintf("metrics: Evaluate: %v", err))
+	}
 	return Summary{
-		MacroF1: MacroF1Score(preds, truths),
+		MacroF1: f1,
 		PRAUC:   PRAUC(scores, truths),
 		ROCAUC:  ROCAUC(scores, truths),
 	}

@@ -83,10 +83,22 @@ func TestMacroF1IsSymmetricUnderClassSwap(t *testing.T) {
 		}
 		return out
 	}
-	a := MacroF1Score(preds, truths)
-	b := MacroF1Score(swapBits(preds), swapBits(truths))
+	a, err := MacroF1Score(preds, truths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MacroF1Score(swapBits(preds), swapBits(truths))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !almostEqual(a, b, 1e-12) {
 		t.Errorf("macro F1 not class-symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestMacroF1ScoreLengthMismatch(t *testing.T) {
+	if _, err := MacroF1Score([]int{1, 0}, []int{1}); err == nil {
+		t.Fatal("length mismatch not reported")
 	}
 }
 

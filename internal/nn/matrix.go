@@ -66,7 +66,7 @@ func MatMul(a, b *Matrix) *Matrix {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
 		for k, av := range arow {
-			if av == 0 {
+			if av == 0 { //iguard:allow(floatcompare) exact-zero sparsity skip
 				continue
 			}
 			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
@@ -108,7 +108,7 @@ func TMatMul(a, b *Matrix) *Matrix {
 		arow := a.Data[r*a.Cols : (r+1)*a.Cols]
 		brow := b.Data[r*b.Cols : (r+1)*b.Cols]
 		for i, av := range arow {
-			if av == 0 {
+			if av == 0 { //iguard:allow(floatcompare) exact-zero sparsity skip
 				continue
 			}
 			orow := out.Data[i*out.Cols : (i+1)*out.Cols]

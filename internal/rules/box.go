@@ -152,7 +152,7 @@ func adjacentAlong(a, c Box, d int) bool {
 			return false
 		}
 	}
-	return a[d].Hi == c[d].Lo || c[d].Hi == a[d].Lo
+	return a[d].Hi == c[d].Lo || c[d].Hi == a[d].Lo //iguard:allow(floatcompare) bounds share identical split values by construction
 }
 
 // mergeAlong returns the union box of two boxes adjacent along d.

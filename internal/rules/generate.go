@@ -168,7 +168,7 @@ func MergeAdjacent(ruleList []Rule, maxPasses int) []Rule {
 				buckets[sig] = append(buckets[sig], i)
 			}
 			sigs := make([]string, 0, len(buckets))
-			for sig := range buckets {
+			for sig := range buckets { //iguard:sorted signatures are collected then sorted below
 				sigs = append(sigs, sig)
 			}
 			sort.Strings(sigs)

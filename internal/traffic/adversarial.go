@@ -18,7 +18,7 @@ func LowRate(tr *Trace, factor float64) *Trace {
 		factor = 1
 	}
 	out := &Trace{Malicious: map[features.FlowKey]bool{}}
-	for k, v := range tr.Malicious {
+	for k, v := range tr.Malicious { //iguard:sorted map-to-map copy, order-independent
 		out.Malicious[k] = v
 	}
 	// Stretch per flow: scaling every packet's offset from its flow
@@ -98,7 +98,7 @@ func Poison(benign, attack *Trace, frac float64, seed int64) *Trace {
 func Evade(tr *Trace, benignPerAttack float64, seed int64) *Trace {
 	r := mathx.NewRand(seed)
 	out := &Trace{Malicious: map[features.FlowKey]bool{}}
-	for k, v := range tr.Malicious {
+	for k, v := range tr.Malicious { //iguard:sorted map-to-map copy, order-independent
 		out.Malicious[k] = v
 	}
 	carry := map[features.FlowKey]float64{}

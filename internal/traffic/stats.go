@@ -55,7 +55,7 @@ func Summarise(tr *Trace) Stats {
 	}
 	s.MinFlowLen = s.Packets
 	total := 0
-	for _, n := range flowLens {
+	for _, n := range flowLens { //iguard:sorted commutative min/max/total accumulation
 		total += n
 		if n < s.MinFlowLen {
 			s.MinFlowLen = n
@@ -77,7 +77,7 @@ func (s Stats) String() string {
 	fmt.Fprintf(&sb, "rate=%.0f pkt/s %.2f Mbit/s  flowlen min/mean/max=%d/%.1f/%d  mean pkt=%.0f B\n",
 		s.PacketsPerSec, s.BitsPerSec/1e6, s.MinFlowLen, s.MeanFlowLen, s.MaxFlowLen, s.MeanPktSize)
 	protos := make([]int, 0, len(s.ByProto))
-	for p := range s.ByProto {
+	for p := range s.ByProto { //iguard:sorted keys are collected then sorted below
 		protos = append(protos, int(p))
 	}
 	sort.Ints(protos)

@@ -73,10 +73,10 @@ func (t *Trace) Merge(other *Trace) *Trace {
 	sort.SliceStable(out.Packets, func(i, j int) bool {
 		return out.Packets[i].Timestamp.Before(out.Packets[j].Timestamp)
 	})
-	for k := range t.Malicious {
+	for k := range t.Malicious { //iguard:sorted map-to-map union, order-independent
 		out.Malicious[k] = true
 	}
-	for k := range other.Malicious {
+	for k := range other.Malicious { //iguard:sorted map-to-map union, order-independent
 		out.Malicious[k] = true
 	}
 	return out
@@ -481,11 +481,13 @@ func GenerateAttack(name AttackName, seed int64, flows int) (*Trace, error) {
 }
 
 // MustGenerateAttack is GenerateAttack for known-good names; it panics
-// on error (used by tests and experiment tables built from AllAttacks).
+// with a descriptive message on unknown attacks, in the manner of
+// regexp.MustCompile. It exists for tests and examples; library code
+// (internal/experiments) calls GenerateAttack and propagates the error.
 func MustGenerateAttack(name AttackName, seed int64, flows int) *Trace {
 	tr, err := GenerateAttack(name, seed, flows)
 	if err != nil {
-		panic(err)
+		panic("traffic: MustGenerateAttack: " + err.Error())
 	}
 	return tr
 }
