@@ -1,6 +1,6 @@
 # Convenience targets for the iGuard reproduction.
 
-.PHONY: build test bench eval eval-quick examples fmt vet lint race
+.PHONY: build test bench eval eval-quick examples fmt vet lint fix sarif race
 
 build:
 	go build ./...
@@ -40,6 +40,15 @@ lint: build vet
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	go run ./cmd/iguard-vet ./...
+
+# Apply iguard-vet's suggested fixes (dead-store deletions, stale
+# suppression removals) to the tree; re-runs until findings converge.
+fix:
+	go run ./cmd/iguard-vet -fix ./...
+
+# Emit the findings as a SARIF 2.1.0 log for code-scanning upload.
+sarif:
+	go run ./cmd/iguard-vet -sarif ./... > iguard-vet.sarif || true
 
 # Race-detector pass over the whole module (slow: experiments re-run
 # the evaluation pipeline under the detector).

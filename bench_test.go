@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"testing"
 
+	"iguard/internal/analysis"
 	"iguard/internal/experiments"
 	"iguard/internal/features"
 	"iguard/internal/switchsim"
@@ -326,6 +327,21 @@ func BenchmarkFlowExtraction(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		features.ExtractAll(trace.Packets, 8, 5e9)
+	}
+}
+
+// BenchmarkVet measures one full iguard-vet suite run over the module
+// (load, type-check, all analyzers): the cost of the CI lint gate.
+func BenchmarkVet(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		diags, err := analysis.Run(".", []string{"./..."}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("tree not clean: %d findings", len(diags))
+		}
 	}
 }
 

@@ -1,16 +1,24 @@
 // Command iguard-vet runs the project's custom static-analysis suite
-// (internal/analysis) over the module: determinism (no global RNG, no
-// wall clock, no unordered map iteration in library code), error
-// hygiene (no discarded errors, no panic(err)), numeric safety (no
-// exact float equality), and output hygiene (no printing from library
-// code).
+// (internal/analysis) over the module. Syntactic analyzers: determinism
+// (no global RNG, no wall clock, no unordered map iteration in library
+// code), error hygiene (no discarded errors, no panic(err)), numeric
+// safety (no exact float equality), and output hygiene (no printing
+// from library code). CFG/dataflow analyzers: seedflow (taint-tracks
+// nondeterministic values into rand constructors, reporting the
+// source→sink path), lockcheck (mutex pairing on all paths, no
+// blocking calls under a held lock, no lock copies), and deadstore
+// (stores never read, unreachable statements). The suppress analyzer
+// keeps //iguard: directives honest by flagging stale ones.
 //
 // Usage:
 //
-//	iguard-vet [-json] [-determinism=false] [...] [packages]
+//	iguard-vet [-json|-sarif] [-fix] [-determinism=false] [...] [packages]
 //
-// It exits 0 when clean, 1 on findings, 2 on load errors, so it slots
-// directly into `make lint` and CI.
+// -fix applies suggested fixes (dead-store deletions, stale-directive
+// removals) to the tree, re-running until the findings converge; -sarif
+// emits a SARIF 2.1.0 log for CI code-scanning upload. It exits 0 when
+// clean, 1 on findings, 2 on load errors, so it slots directly into
+// `make lint` and CI.
 package main
 
 import (

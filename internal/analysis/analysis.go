@@ -38,6 +38,9 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+
+	// Fixes holds machine-applicable resolutions, applied by -fix.
+	Fixes []SuggestedFix
 }
 
 // String renders the canonical "file:line:col: [analyzer] message" form.
@@ -55,9 +58,12 @@ type Analyzer struct {
 	Run         func(*Pass)
 }
 
-// All returns the full suite in reporting order.
+// All returns the full suite in reporting order: the syntactic
+// analyzers of PR 1 first, then the CFG/dataflow analyzers, then the
+// directive hygiene check.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, ErrCheck, FloatCompare, PrintCheck}
+	return []*Analyzer{Determinism, ErrCheck, FloatCompare, PrintCheck,
+		Deadstore, Lockcheck, Seedflow, Suppress}
 }
 
 // Pass hands one package to one analyzer and collects its findings.
@@ -79,6 +85,11 @@ func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
 // Reportf records a finding unless an //iguard:allow(<analyzer>) directive
 // covers the position.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportFix(pos, nil, format, args...)
+}
+
+// ReportFix is Reportf with attached suggested fixes.
+func (p *Pass) ReportFix(pos token.Pos, fixes []SuggestedFix, format string, args ...any) {
 	if p.Suppressed(pos, "allow("+p.Analyzer.Name+")") {
 		return
 	}
@@ -86,25 +97,63 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Pkg.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+		Fixes:    fixes,
 	})
 }
 
 // Suppressed reports whether the named directive appears on the line of
-// pos or on the line directly above it.
+// pos or on the line directly above it. An allow directive may name
+// several analyzers — //iguard:allow(errcheck,printcheck) — and
+// matches when the queried analyzer is among them.
 func (p *Pass) Suppressed(pos token.Pos, directive string) bool {
 	position := p.Pkg.Fset.Position(pos)
 	lines := p.Pkg.directives[position.Filename]
 	for _, d := range lines[position.Line] {
-		if d == directive {
+		if directiveMatches(d, directive) {
 			return true
 		}
 	}
 	for _, d := range lines[position.Line-1] {
-		if d == directive {
+		if directiveMatches(d, directive) {
 			return true
 		}
 	}
 	return false
+}
+
+// directiveMatches reports whether the directive d satisfies the query
+// ("sorted", or "allow(<name>)" for a single analyzer name).
+func directiveMatches(d, query string) bool {
+	if d == query {
+		return true
+	}
+	dNames, dOK := allowNames(d)
+	qNames, qOK := allowNames(query)
+	if !dOK || !qOK || len(qNames) != 1 {
+		return false
+	}
+	for _, n := range dNames {
+		if n == qNames[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// allowNames parses "allow(a,b,…)" into its analyzer names.
+func allowNames(d string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(d, "allow(")
+	if !ok || !strings.HasSuffix(rest, ")") {
+		return nil, false
+	}
+	rest = strings.TrimSuffix(rest, ")")
+	var names []string
+	for _, n := range strings.Split(rest, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
 }
 
 // TypeOf returns the type of an expression, or nil when unknown.
@@ -142,22 +191,33 @@ func (p *Pass) IsBuiltin(call *ast.CallExpr, name string) bool {
 }
 
 // scanDirectives extracts //iguard: directive comments from a file,
-// keyed by the line the comment sits on.
+// keyed by the line the comment sits on. The first field after the
+// "iguard:" prefix is the directive; everything after it is free-form
+// reason text.
 func scanDirectives(fset *token.FileSet, f *ast.File) map[int][]string {
 	out := map[int][]string{}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			text := strings.TrimPrefix(c.Text, "//")
-			if !strings.HasPrefix(text, "iguard:") {
-				continue
-			}
-			line := fset.Position(c.Pos()).Line
-			for _, d := range strings.Fields(strings.TrimPrefix(text, "iguard:")) {
+			if d, ok := directiveOf(c); ok {
+				line := fset.Position(c.Pos()).Line
 				out[line] = append(out[line], d)
 			}
 		}
 	}
 	return out
+}
+
+// directiveOf returns the directive carried by a comment, if any.
+func directiveOf(c *ast.Comment) (string, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	if !strings.HasPrefix(text, "iguard:") {
+		return "", false
+	}
+	fields := strings.Fields(strings.TrimPrefix(text, "iguard:"))
+	if len(fields) == 0 {
+		return "", false
+	}
+	return fields[0], true
 }
 
 // SortDiagnostics orders findings by file, line, column, then analyzer,
@@ -174,6 +234,9 @@ func SortDiagnostics(ds []Diagnostic) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 }

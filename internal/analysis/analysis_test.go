@@ -82,7 +82,8 @@ func wantMarkers(t *testing.T, pkg *Package) map[string]map[string]int {
 // TestFixtures runs the full suite over each fixture package and
 // compares findings against the want: markers, both directions.
 func TestFixtures(t *testing.T) {
-	for _, name := range []string{"determbad", "errbad", "floatbad", "printbad", "clean"} {
+	for _, name := range []string{"determbad", "errbad", "floatbad", "printbad",
+		"seedbad", "lockbad", "deadbad", "suppressbad", "clean"} {
 		t.Run(name, func(t *testing.T) {
 			pkg := loadFixture(t, name)
 			want := wantMarkers(t, pkg)
@@ -157,6 +158,69 @@ func Exact(a, b float64) bool {
 	}
 	if diags := RunAnalyzer(FloatCompare, pkg); len(diags) != 0 {
 		t.Fatalf("preceding-line directive ignored: %v", diags)
+	}
+}
+
+// TestSuppressionMultiName checks that one allow directive may name
+// several analyzers — //iguard:allow(a,b) — and suppresses each, while
+// the suppress analyzer accepts it as fully valid.
+func TestSuppressionMultiName(t *testing.T) {
+	p := loadSnippet(t, `package tmpmulti
+
+import "fmt"
+
+func Exact(a, b float64) bool {
+	//iguard:allow(floatcompare,errcheck) both findings intended
+	fmt.Errorf("dropped: %v", a == b)
+	return false
+}
+`)
+	for _, a := range []*Analyzer{FloatCompare, ErrCheck, Suppress} {
+		if diags := RunAnalyzer(a, p.Pkg); len(diags) != 0 {
+			t.Errorf("%s findings with multi-name directive: %v", a.Name, diags)
+		}
+	}
+}
+
+// TestSuppressionMultiLineStatement checks a directive on the line
+// above a statement that spans several lines.
+func TestSuppressionMultiLineStatement(t *testing.T) {
+	p := loadSnippet(t, `package tmpspan
+
+func Span(a, b, c float64) bool {
+	//iguard:allow(floatcompare) exact identity intended
+	return a ==
+		b+
+			c
+}
+`)
+	if diags := RunAnalyzer(FloatCompare, p.Pkg); len(diags) != 0 {
+		t.Errorf("directive above multi-line statement ignored: %v", diags)
+	}
+}
+
+// TestSuppressionStaleDirective checks that a directive naming no
+// analyzer suppresses nothing and is itself reported, with a fix.
+func TestSuppressionStaleDirective(t *testing.T) {
+	p := loadSnippet(t, `package tmpstale
+
+func Exact(a, b float64) bool {
+	//iguard:allow(floatcmp) typo
+	return a == b
+}
+`)
+	if diags := RunAnalyzer(FloatCompare, p.Pkg); len(diags) != 1 {
+		t.Errorf("stale directive suppressed the finding: %v", diags)
+	}
+	diags := RunAnalyzer(Suppress, p.Pkg)
+	if len(diags) != 1 {
+		t.Fatalf("suppress findings = %d, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "floatcmp") {
+		t.Errorf("stale report does not name the unknown analyzer: %s", diags[0].Message)
+	}
+	if len(diags[0].Fixes) == 0 {
+		t.Error("stale directive carries no removal fix")
 	}
 }
 

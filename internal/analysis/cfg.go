@@ -1,0 +1,457 @@
+// Control-flow graphs. BuildCFG lowers one function body into basic
+// blocks connected by possible-execution edges — the substrate the
+// flow-sensitive analyzers (seedflow, lockcheck, deadstore) iterate
+// over. The builder is syntactic: conditions are never evaluated, so
+// both arms of every branch are considered reachable, which keeps the
+// analyzers sound for the invariants they check (a lock released only
+// on the `if` arm is still a bug even when the condition is always
+// true in practice).
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is the control-flow graph of a single function literal or
+// declaration. Entry is the first executable block; Exit is a
+// synthetic, empty block that every normal return edge targets. Panic
+// and process-terminating calls end their block without an Exit edge:
+// deferred cleanup still runs on panic, so path-pairing analyzers must
+// not demand explicit releases there.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// Block is one straight-line run of AST nodes. Nodes holds statements
+// in execution order; branch conditions and range expressions appear
+// as their owning statement's expression node so dataflow transfer
+// functions see their reads.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+
+	// sealed marks a block whose control flow never falls through to a
+	// lexically following block (it ended in return/branch/panic).
+	sealed bool
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+
+	// breaks / continues are the innermost targets; labels maps a label
+	// name to its loop/switch targets and to the block a goto jumps to.
+	breaks    []*Block
+	continues []*Block
+	labels    map[string]*labelTargets
+
+	// pendingLabel is the label naming the next loop/switch statement,
+	// so `break L` / `continue L` resolve to that construct's targets.
+	pendingLabel string
+
+	// gotos records forward gotos resolved once all labels are known.
+	gotos []pendingGoto
+
+	pass *Pass
+}
+
+type labelTargets struct {
+	entry *Block // block the labeled statement starts in (goto target)
+	brk   *Block // break L target, nil outside loops/switches
+	cont  *Block // continue L target, nil outside loops
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG lowers body into a CFG. The pass is used only to resolve
+// whether calls terminate control flow (panic, os.Exit); it may be nil
+// in tests, in which case only the panic builtin is recognised by name.
+func BuildCFG(pass *Pass, body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: map[string]*labelTargets{},
+		pass:   pass,
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.cfg.Exit = b.newBlock()
+	b.stmtList(body.List)
+	// Falling off the end of the body is a normal exit.
+	b.edge(b.cur, b.cfg.Exit)
+	for _, g := range b.gotos {
+		if lt, ok := b.labels[g.label]; ok {
+			b.edge(g.from, lt.entry)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge connects from → to unless from ended in a jump already.
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || from.sealed {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// startBlock seals nothing: it begins a new block reached from cur.
+func (b *cfgBuilder) startBlock() *Block {
+	blk := b.newBlock()
+	b.edge(b.cur, blk)
+	b.cur = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, after)
+
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		contTarget := head
+		if s.Post != nil {
+			post := b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+			contTarget = post
+		}
+		b.registerLabel(label, head, after, contTarget)
+
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.pushLoop(after, contTarget)
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		b.edge(b.cur, contTarget)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		head.Nodes = append(head.Nodes, s)
+		after := b.newBlock()
+		b.edge(head, after)
+		b.registerLabel(label, head, after, head)
+
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.pushLoop(after, head)
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		b.switchClauses(label, s.Body.List, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			cc := c.(*ast.CaseClause)
+			var exprs []ast.Node
+			for _, e := range cc.List {
+				exprs = append(exprs, e)
+			}
+			return exprs, cc.Body, cc.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		b.switchClauses(label, s.Body.List, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			cc := c.(*ast.CaseClause)
+			var exprs []ast.Node
+			for _, e := range cc.List {
+				exprs = append(exprs, e)
+			}
+			return exprs, cc.Body, cc.List == nil
+		})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		sel := b.cur
+		after := b.newBlock()
+		b.registerLabel(label, sel, after, nil)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(sel, blk)
+			if cc.Comm != nil {
+				blk.Nodes = append(blk.Nodes, cc.Comm)
+			}
+			b.cur = blk
+			b.pushBreak(after)
+			b.stmtList(cc.Body)
+			b.popBreak()
+			b.edge(b.cur, after)
+		}
+		// A select with no default blocks, but some case always fires
+		// eventually; control cannot skip to after directly.
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		// Begin a fresh block so gotos have a well-defined target.
+		entry := b.startBlock()
+		b.labels[s.Label.Name] = &labelTargets{entry: entry}
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur.sealed = true
+		b.cur = b.newBlock()
+
+	case *ast.BranchStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if lt, ok := b.labels[s.Label.Name]; ok && lt.brk != nil {
+					b.edge(b.cur, lt.brk)
+				}
+			} else if n := len(b.breaks); n > 0 {
+				b.edge(b.cur, b.breaks[n-1])
+			}
+		case token.CONTINUE:
+			if s.Label != nil {
+				if lt, ok := b.labels[s.Label.Name]; ok && lt.cont != nil {
+					b.edge(b.cur, lt.cont)
+				}
+			} else if n := len(b.continues); n > 0 {
+				b.edge(b.cur, b.continues[n-1])
+			}
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+		case token.FALLTHROUGH:
+			// Edge added by switchClauses, which knows the next case.
+		}
+		b.cur.sealed = s.Tok != token.FALLTHROUGH
+		b.cur = b.newBlock()
+
+	case *ast.DeferStmt, *ast.GoStmt, *ast.SendStmt, *ast.IncDecStmt,
+		*ast.AssignStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.terminates(call) {
+			// panic/os.Exit: control never reaches the next statement,
+			// and does not flow to Exit either (defers still run).
+			b.cur.sealed = true
+			b.cur = b.newBlock()
+		}
+
+	default:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// switchClauses wires the shared case-dispatch shape of switch and
+// type switch: every case block is entered from the dispatch block, a
+// missing default adds a dispatch→after edge, and fallthrough chains
+// into the next case body.
+func (b *cfgBuilder) switchClauses(label string, clauses []ast.Stmt, split func(ast.Stmt) ([]ast.Node, []ast.Stmt, bool)) {
+	dispatch := b.cur
+	after := b.newBlock()
+	b.registerLabel(label, dispatch, after, nil)
+
+	hasDefault := false
+	caseBlocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		caseBlocks[i] = b.newBlock()
+		b.edge(dispatch, caseBlocks[i])
+	}
+	for i, c := range clauses {
+		exprs, body, isDefault := split(c)
+		if isDefault {
+			hasDefault = true
+		}
+		blk := caseBlocks[i]
+		blk.Nodes = append(blk.Nodes, exprs...)
+		b.cur = blk
+		b.pushBreak(after)
+		fallsThrough := b.buildCaseBody(body)
+		b.popBreak()
+		if fallsThrough && i+1 < len(clauses) {
+			b.edge(b.cur, caseBlocks[i+1])
+			b.cur.sealed = true
+		}
+		b.edge(b.cur, after)
+	}
+	if !hasDefault {
+		b.edge(dispatch, after)
+	}
+	b.cur = after
+}
+
+// buildCaseBody builds one case body and reports whether it ends in a
+// fallthrough statement.
+func (b *cfgBuilder) buildCaseBody(body []ast.Stmt) bool {
+	fallsThrough := false
+	for i, s := range body {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i == len(body)-1 {
+			b.cur.Nodes = append(b.cur.Nodes, s)
+			fallsThrough = true
+			break
+		}
+		b.stmt(s)
+	}
+	return fallsThrough
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *cfgBuilder) pushBreak(brk *Block) { b.breaks = append(b.breaks, brk) }
+func (b *cfgBuilder) popBreak()            { b.breaks = b.breaks[:len(b.breaks)-1] }
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) registerLabel(label string, entry, brk, cont *Block) {
+	if label == "" {
+		return
+	}
+	lt := b.labels[label]
+	if lt == nil {
+		lt = &labelTargets{entry: entry}
+		b.labels[label] = lt
+	}
+	lt.brk = brk
+	lt.cont = cont
+}
+
+// terminates reports whether the call never returns: the panic builtin,
+// os.Exit, or log.Fatal*.
+func (b *cfgBuilder) terminates(call *ast.CallExpr) bool {
+	if b.pass != nil {
+		if b.pass.IsBuiltin(call, "panic") {
+			return true
+		}
+		if pkgPath, fn, ok := b.pass.PkgFunc(call); ok {
+			if pkgPath == "os" && fn == "Exit" {
+				return true
+			}
+			if pkgPath == "log" && (fn == "Fatal" || fn == "Fatalf" || fn == "Fatalln" || fn == "Panic" || fn == "Panicf" || fn == "Panicln") {
+				return true
+			}
+		}
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (c *CFG) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{c.Entry: true}
+	stack := []*Block{c.Entry}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// UnreachableRegions returns the first node of every maximal
+// unreachable region: a non-empty block no reachable block leads into
+// and that is not merely the continuation of another unreachable block.
+func (c *CFG) UnreachableRegions() []ast.Node {
+	reach := c.Reachable()
+	var heads []ast.Node
+	for _, blk := range c.Blocks {
+		if reach[blk] || len(blk.Nodes) == 0 {
+			continue
+		}
+		if len(blk.Preds) == 0 {
+			heads = append(heads, blk.Nodes[0])
+		}
+	}
+	return heads
+}

@@ -1,0 +1,98 @@
+// Worklist dataflow over CFGs. A FlowProblem supplies the lattice
+// (Merge/Equal), the boundary fact, and a per-block transfer function;
+// Solve iterates to a fixpoint and returns the fact at each block's
+// entry (forward) or exit (backward). Analyzers then make one final
+// deterministic reporting pass per block, re-applying the transfer
+// with reporting enabled, so diagnostics are emitted exactly once and
+// in block order regardless of how the worklist converged.
+package analysis
+
+// Direction selects forward (facts flow entry→exit) or backward
+// (liveness-style) propagation.
+type Direction int
+
+// Supported propagation directions.
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// FlowProblem defines one dataflow analysis over a CFG. Facts are
+// opaque to the solver; nil is the bottom element and Merge must treat
+// it as the identity.
+type FlowProblem struct {
+	Dir Direction
+	// Boundary is the fact at the entry block (forward) or exit block
+	// (backward).
+	Boundary func() any
+	// Merge joins two non-nil facts; it must be commutative and
+	// monotone, and must not mutate its arguments.
+	Merge func(a, b any) any
+	// Equal reports whether iteration has stabilised for a block.
+	Equal func(a, b any) bool
+	// Transfer computes the block's outgoing fact from its incoming
+	// one; it must not mutate in.
+	Transfer func(b *Block, in any) any
+}
+
+// Solve iterates the problem to a fixpoint. For forward problems the
+// returned map holds each block's entry fact; for backward problems,
+// its exit fact. Blocks unreachable along the propagation direction
+// keep a nil (bottom) fact.
+func Solve(c *CFG, p FlowProblem) map[*Block]any {
+	in := make(map[*Block]any, len(c.Blocks))
+	out := make(map[*Block]any, len(c.Blocks))
+
+	next := func(b *Block) []*Block { return b.Succs }
+	prev := func(b *Block) []*Block { return b.Preds }
+	start := c.Entry
+	if p.Dir == Backward {
+		next, prev = prev, next
+		start = c.Exit
+	}
+
+	in[start] = p.Boundary()
+	// Deterministic worklist: blocks are processed in index order per
+	// round; the fixpoint is unique either way, this just bounds churn.
+	work := make([]*Block, 0, len(c.Blocks))
+	inWork := make([]bool, len(c.Blocks))
+	push := func(b *Block) {
+		if !inWork[b.Index] {
+			inWork[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	push(start)
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+
+		merged := in[b]
+		if b != start {
+			merged = nil
+			for _, pr := range prev(b) {
+				if o := out[pr]; o != nil {
+					if merged == nil {
+						merged = o
+					} else {
+						merged = p.Merge(merged, o)
+					}
+				}
+			}
+			if merged == nil {
+				continue // not yet reached
+			}
+			in[b] = merged
+		}
+		o := p.Transfer(b, merged)
+		if old, ok := out[b]; ok && p.Equal(old, o) {
+			continue
+		}
+		out[b] = o
+		for _, s := range next(b) {
+			push(s)
+		}
+	}
+	return in
+}

@@ -1,0 +1,342 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Deadstore finds computation whose result can never be observed:
+// assignments to local variables that no path reads again (backward
+// liveness over the CFG) and statements no path reaches (code after
+// return/panic, after an infinite loop, or in a skipped region). Both
+// usually indicate a refactoring leftover — in pipeline code, often a
+// metric that silently stopped being aggregated.
+//
+// Reported stores whose right-hand side is free of side effects carry
+// a suggested fix that deletes the statement (applied by -fix).
+// Variables whose address is taken, that are captured by a closure, or
+// that are referenced from defer/go statements are never reported.
+var Deadstore = &Analyzer{
+	Name: "deadstore",
+	Doc: "flag assignments whose value is never read and unreachable " +
+		"statements, with -fix deletions for side-effect-free stores",
+	LibraryOnly: false,
+	Run:         runDeadstore,
+}
+
+// liveSet is the backward dataflow fact: variables whose current value
+// may still be read.
+type liveSet map[*types.Var]bool
+
+func (s liveSet) clone() liveSet {
+	out := make(liveSet, len(s))
+	for k := range s { //iguard:sorted set copy is key-order independent
+		out[k] = true
+	}
+	return out
+}
+
+func runDeadstore(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, body := range functionBodies(f) {
+			p.deadstoreFunc(body)
+		}
+	}
+}
+
+func (p *Pass) deadstoreFunc(body *ast.BlockStmt) {
+	cfg := BuildCFG(p, body)
+	for _, n := range cfg.UnreachableRegions() {
+		p.Reportf(n.Pos(), "unreachable code")
+	}
+
+	locals, escaped := p.collectLocals(body)
+	if len(locals) == 0 {
+		return
+	}
+	problem := FlowProblem{
+		Dir:      Backward,
+		Boundary: func() any { return liveSet{} },
+		Merge: func(a, b any) any {
+			x, y := a.(liveSet), b.(liveSet)
+			out := x.clone()
+			for k := range y { //iguard:sorted set union is order-independent
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b any) bool {
+			x, y := a.(liveSet), b.(liveSet)
+			if len(x) != len(y) {
+				return false
+			}
+			for k := range x { //iguard:sorted set comparison is order-independent
+				if !y[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *Block, in any) any {
+			return p.livenessTransfer(b, in.(liveSet), locals, nil)
+		},
+	}
+	outFacts := Solve(cfg, problem)
+	for _, b := range cfg.Blocks {
+		out, ok := outFacts[b].(liveSet)
+		if !ok {
+			continue // block does not reach a normal exit; stay silent
+		}
+		p.livenessTransfer(b, out, locals, func(pos token.Pos, v *types.Var, node ast.Node) {
+			if escaped[v] {
+				return
+			}
+			var fixes []SuggestedFix
+			// Deleting the store must not leave v's declaration unused —
+			// "declared and not used" would break the build — so the fix
+			// requires a surviving use of v outside the deleted node.
+			if fixable(node) && p.usedOutside(body, v, node) {
+				if fix := p.deleteLinesFix("delete dead store to "+v.Name(), node.Pos(), node.End()); fix != nil {
+					fixes = append(fixes, *fix)
+				}
+			}
+			p.ReportFix(pos, fixes, "value assigned to %s is never read", v.Name())
+		})
+	}
+}
+
+// livenessTransfer walks the block's nodes backward, maintaining the
+// live set. report, when set, is invoked for each dead store.
+func (p *Pass) livenessTransfer(b *Block, out liveSet, locals map[*types.Var]bool, report func(token.Pos, *types.Var, ast.Node)) any {
+	live := out.clone()
+	for i := len(b.Nodes) - 1; i >= 0; i-- {
+		p.livenessNode(b.Nodes[i], live, locals, report)
+	}
+	return live
+}
+
+// livenessNode applies one node's kills (definitions) and gens (uses).
+func (p *Pass) livenessNode(n ast.Node, live liveSet, locals map[*types.Var]bool, report func(token.Pos, *types.Var, ast.Node)) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		compound := n.Tok != token.ASSIGN && n.Tok != token.DEFINE
+		for _, lhs := range n.Lhs {
+			if v := p.assignTarget(lhs, locals); v != nil {
+				if !live[v] && !compound && report != nil {
+					report(lhs.Pos(), v, deadStoreNode(n))
+				}
+				delete(live, v)
+			} else {
+				p.addUses(lhs, live, locals)
+			}
+		}
+		if compound {
+			// x += e reads x as well.
+			for _, lhs := range n.Lhs {
+				p.addUses(lhs, live, locals)
+			}
+		}
+		for _, rhs := range n.Rhs {
+			p.addUses(rhs, live, locals)
+		}
+	case *ast.IncDecStmt:
+		if v := p.assignTarget(n.X, locals); v != nil {
+			if !live[v] && report != nil {
+				report(n.X.Pos(), v, n)
+			}
+			// x++ reads and writes x: no kill.
+			live[v] = true
+			return
+		}
+		p.addUses(n.X, live, locals)
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			p.addUses(n, live, locals)
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if v := p.assignTarget(name, locals); v != nil {
+					// `var x T` with no initializer is idiomatic; only
+					// initialized declarations count as stores.
+					if len(vs.Values) > 0 && !live[v] && report != nil {
+						report(name.Pos(), v, nil)
+					}
+					delete(live, v)
+				}
+			}
+			for _, val := range vs.Values {
+				p.addUses(val, live, locals)
+			}
+		}
+	case *ast.RangeStmt:
+		// Only the range expression belongs to this block; key/value
+		// are fresh each iteration and unused ones are compile errors.
+		if v := p.assignTarget(n.Key, locals); v != nil {
+			delete(live, v)
+		}
+		if v := p.assignTarget(n.Value, locals); v != nil {
+			delete(live, v)
+		}
+		p.addUses(n.X, live, locals)
+	default:
+		p.addUses(n, live, locals)
+	}
+}
+
+// usedOutside reports whether v is used, in the compiler's
+// declared-and-not-used sense, somewhere in body other than inside
+// node: any mention except a bare left-hand-side identifier of a plain
+// assignment (x++ and compound assignments do count as uses).
+func (p *Pass) usedOutside(body *ast.BlockStmt, v *types.Var, node ast.Node) bool {
+	writeOnly := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if assign, ok := n.(*ast.AssignStmt); ok && assign.Tok == token.ASSIGN {
+			for _, lhs := range assign.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					writeOnly[id] = true
+				}
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == node {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && !writeOnly[id] {
+			if w, ok := p.Pkg.Info.Uses[id].(*types.Var); ok && w == v {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// deadStoreNode returns the assignment node a deletion fix may remove:
+// only simple single-target plain assignments qualify.
+func deadStoreNode(assign *ast.AssignStmt) ast.Node {
+	if assign.Tok == token.ASSIGN && len(assign.Lhs) == 1 && len(assign.Rhs) == 1 {
+		return assign
+	}
+	return nil
+}
+
+// fixable reports whether deleting the node cannot change behaviour:
+// the node exists and its right-hand side performs no calls, channel
+// operations, or indexing (which may panic).
+func fixable(n ast.Node) bool {
+	assign, ok := n.(*ast.AssignStmt)
+	if !ok {
+		if _, isInc := n.(*ast.IncDecStmt); isInc {
+			return true
+		}
+		return false
+	}
+	pure := true
+	ast.Inspect(assign.Rhs[0], func(node ast.Node) bool {
+		switch node.(type) {
+		case *ast.CallExpr, *ast.IndexExpr, *ast.TypeAssertExpr, *ast.FuncLit:
+			pure = false
+			return false
+		case *ast.UnaryExpr:
+			if node.(*ast.UnaryExpr).Op == token.ARROW {
+				pure = false
+				return false
+			}
+		}
+		return true
+	})
+	return pure
+}
+
+// assignTarget resolves an assignment target to a tracked local, or
+// nil when the target is blank, a field, an index, or not local.
+func (p *Pass) assignTarget(e ast.Expr, locals map[*types.Var]bool) *types.Var {
+	if e == nil {
+		return nil
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	var obj types.Object
+	if d, ok := p.Pkg.Info.Defs[id]; ok {
+		obj = d
+	} else {
+		obj = p.Pkg.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !locals[v] {
+		return nil
+	}
+	return v
+}
+
+// addUses marks every tracked local read inside n as live. Reads from
+// inside function literals count: the closure may run later.
+func (p *Pass) addUses(n ast.Node, live liveSet, locals map[*types.Var]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok {
+			if v, ok := p.Pkg.Info.Uses[id].(*types.Var); ok && locals[v] {
+				live[v] = true
+			}
+		}
+		return true
+	})
+}
+
+// collectLocals gathers the variables declared inside the body and the
+// subset that escape flow analysis: address taken, captured by a
+// closure, or referenced from defer/go statements (which run later).
+func (p *Pass) collectLocals(body *ast.BlockStmt) (locals, escaped map[*types.Var]bool) {
+	locals = map[*types.Var]bool{}
+	escaped = map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := p.Pkg.Info.Defs[id].(*types.Var); ok && !v.IsField() &&
+				v.Pos() >= body.Pos() && v.Pos() < body.End() {
+				locals[v] = true
+			}
+		}
+		return true
+	})
+	markUses := func(n ast.Node) {
+		ast.Inspect(n, func(node ast.Node) bool {
+			if id, ok := node.(*ast.Ident); ok {
+				if v, ok := p.Pkg.Info.Uses[id].(*types.Var); ok && locals[v] {
+					escaped[v] = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				markUses(n.X)
+			}
+		case *ast.FuncLit:
+			markUses(n.Body)
+			return false
+		case *ast.DeferStmt:
+			markUses(n.Call)
+		case *ast.GoStmt:
+			markUses(n.Call)
+		}
+		return true
+	})
+	return locals, escaped
+}

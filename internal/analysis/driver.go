@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +44,8 @@ func Execute(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("iguard-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	fixMode := fs.Bool("fix", false, "apply suggested fixes to the source tree, verifying idempotency")
 	enabled := map[string]*bool{}
 	for _, a := range All() {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
@@ -55,6 +58,9 @@ func Execute(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		return ExitError
+	}
+	if *jsonOut && *sarifOut {
+		return fail(errors.New("-json and -sarif are mutually exclusive"))
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -69,9 +75,19 @@ func Execute(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	if *fixMode {
+		diags, err = fixToConvergence(cwd, patterns, enabled, diags, stderr)
+		if err != nil {
+			return fail(err)
+		}
+	}
 
 	var out strings.Builder
-	if *jsonOut {
+	if *sarifOut {
+		if err := WriteSARIF(&out, cwd, diags); err != nil {
+			return fail(err)
+		}
+	} else if *jsonOut {
 		findings := make([]JSONFinding, 0, len(diags))
 		for _, d := range diags {
 			findings = append(findings, JSONFinding{
@@ -101,9 +117,55 @@ func Execute(args []string, stdout, stderr io.Writer) int {
 	return ExitClean
 }
 
+// fixToConvergence applies suggested fixes, re-running the analysis
+// after each round until no fixable diagnostics remain (deleting one
+// dead store can expose the store feeding it). A round that applies
+// fixes but leaves the diagnostic set unchanged means a fix failed to
+// resolve its own finding — that breaks the -fix CI gate, so it is an
+// error rather than a loop. Returns the post-fix diagnostics.
+func fixToConvergence(cwd string, patterns []string, enabled map[string]*bool, diags []Diagnostic, stderr io.Writer) ([]Diagnostic, error) {
+	const maxRounds = 8
+	for round := 0; round < maxRounds && FixableCount(diags) > 0; round++ {
+		res, err := ApplyFixes(diags, nil)
+		if err != nil {
+			return nil, err
+		}
+		if res.Applied == 0 {
+			// Only overlap-skipped fixes remain; nothing will change.
+			break
+		}
+		if _, err := fmt.Fprintf(stderr, "iguard-vet: applied %d fix(es) to %d file(s)\n", res.Applied, len(res.Files)); err != nil {
+			return nil, err
+		}
+		before := diagKeys(diags)
+		diags, err = Run(cwd, patterns, enabled)
+		if err != nil {
+			return nil, fmt.Errorf("re-analysis after -fix failed: %w", err)
+		}
+		if FixableCount(diags) > 0 && diagKeys(diags) == before {
+			return nil, errors.New("-fix applied changes but the findings did not change; fix is not idempotent")
+		}
+	}
+	if FixableCount(diags) > 0 {
+		return nil, fmt.Errorf("-fix did not converge after %d rounds (%d fixable findings remain)", maxRounds, FixableCount(diags))
+	}
+	return diags, nil
+}
+
+// diagKeys renders a canonical signature of a diagnostic list.
+func diagKeys(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // Run loads the patterns relative to cwd and applies every analyzer
 // whose entry in enabled is true (a missing entry means enabled),
-// returning sorted diagnostics.
+// returning diagnostics sorted by position and deduplicated, so output
+// is byte-stable regardless of pattern order or overlap.
 func Run(cwd string, patterns []string, enabled map[string]*bool) ([]Diagnostic, error) {
 	modRoot, err := FindModuleRoot(cwd)
 	if err != nil {
@@ -130,7 +192,24 @@ func Run(cwd string, patterns []string, enabled map[string]*bool) ([]Diagnostic,
 		}
 	}
 	SortDiagnostics(diags)
-	return diags, nil
+	return dedupDiagnostics(diags), nil
+}
+
+// dedupDiagnostics collapses identical findings (same position,
+// analyzer, and message) that overlapping patterns can produce; input
+// must be sorted.
+func dedupDiagnostics(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 {
+			prev := diags[i-1]
+			if d.Pos == prev.Pos && d.Analyzer == prev.Analyzer && d.Message == prev.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // relPath shortens filename relative to base for readable output,

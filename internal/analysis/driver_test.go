@@ -3,6 +3,8 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -84,6 +86,177 @@ func TestDriverDisableFlag(t *testing.T) {
 	code = Execute([]string{"-printcheck=false", "-errcheck=false", "./testdata/src/printbad"}, &out, &errb)
 	if code != ExitClean {
 		t.Fatalf("exit = %d with printcheck+errcheck disabled, want %d\n%s", code, ExitClean, out.String())
+	}
+}
+
+// TestDriverSARIF checks the -sarif output: valid SARIF 2.1.0 with one
+// rule per analyzer and one result per finding, relative forward-slash
+// URIs.
+func TestDriverSARIF(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := Execute([]string{"-sarif", "./testdata/src/printbad"}, &out, &errb)
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, ExitFindings, errb.String())
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("-sarif output does not parse: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version = %q, schema = %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "iguard-vet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(All()) {
+		t.Errorf("rules = %d, want %d", len(run.Tool.Driver.Rules), len(All()))
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("no results in SARIF output")
+	}
+	for _, r := range run.Results {
+		if r.Level != "error" || r.RuleID == "" {
+			t.Errorf("result %+v lacks level/ruleId", r)
+		}
+		for _, loc := range r.Locations {
+			uri := loc.PhysicalLocation.ArtifactLocation.URI
+			if strings.Contains(uri, "\\") || filepath.IsAbs(uri) {
+				t.Errorf("URI %q not a relative forward-slash path", uri)
+			}
+			if loc.PhysicalLocation.Region.StartLine <= 0 {
+				t.Errorf("result %+v lacks a line", r)
+			}
+		}
+	}
+}
+
+// TestDriverJSONSarifExclusive checks the two machine formats cannot be
+// combined.
+func TestDriverJSONSarifExclusive(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Execute([]string{"-json", "-sarif", "./testdata/src/clean"}, &out, &errb); code != ExitError {
+		t.Fatalf("exit = %d for -json -sarif, want %d", code, ExitError)
+	}
+}
+
+// TestDriverStableOutput pins byte-stable output across pattern order
+// and overlap: duplicated or reordered patterns yield identical bytes.
+func TestDriverStableOutput(t *testing.T) {
+	runOnce := func(args ...string) string {
+		var out, errb bytes.Buffer
+		if code := Execute(args, &out, &errb); code != ExitFindings {
+			t.Fatalf("exit = %d, want %d (stderr: %s)", code, ExitFindings, errb.String())
+		}
+		return out.String()
+	}
+	forward := runOnce("./testdata/src/errbad", "./testdata/src/printbad")
+	reversed := runOnce("./testdata/src/printbad", "./testdata/src/errbad")
+	doubled := runOnce("./testdata/src/errbad", "./testdata/src/errbad", "./testdata/src/printbad")
+	if forward != reversed {
+		t.Errorf("output depends on pattern order:\n--- forward\n%s--- reversed\n%s", forward, reversed)
+	}
+	if forward != doubled {
+		t.Errorf("duplicated pattern changes output:\n--- single\n%s--- doubled\n%s", forward, doubled)
+	}
+	jsonForward := runOnce("-json", "./testdata/src/errbad", "./testdata/src/printbad")
+	jsonReversed := runOnce("-json", "./testdata/src/printbad", "./testdata/src/errbad")
+	if jsonForward != jsonReversed {
+		t.Error("-json output depends on pattern order")
+	}
+}
+
+// TestDriverFix runs the -fix loop end to end in a throwaway module:
+// the first run rewrites the tree and converges, the second finds a
+// clean tree and changes nothing — the CI idempotency gate.
+func TestDriverFix(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpfixmod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package tmpfixmod
+
+// Dead computes a value every path overwrites.
+func Dead(a, b int) int {
+	x := a
+	y := x + 1
+	x = a + b
+	x = y
+	//iguard:allow(nosuchanalyzer) stale waiver
+	return x
+}
+`
+	file := filepath.Join(dir, "m.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(cwd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	var out, errb bytes.Buffer
+	if code := Execute([]string{"-fix", "./..."}, &out, &errb); code != ExitClean {
+		t.Fatalf("first -fix run exit = %d, want %d\nstdout: %s\nstderr: %s", code, ExitClean, out.String(), errb.String())
+	}
+	fixed, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(fixed), "x = a + b") || strings.Contains(string(fixed), "nosuchanalyzer") {
+		t.Fatalf("-fix left fixable findings in place:\n%s", fixed)
+	}
+	// Second run: tree already clean, no edits.
+	out.Reset()
+	errb.Reset()
+	if code := Execute([]string{"-fix", "./..."}, &out, &errb); code != ExitClean {
+		t.Fatalf("second -fix run exit = %d, want %d\nstderr: %s", code, ExitClean, errb.String())
+	}
+	again, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(fixed) {
+		t.Error("-fix is not idempotent: second run changed the tree")
 	}
 }
 

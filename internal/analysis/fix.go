@@ -1,0 +1,183 @@
+// Suggested fixes and the -fix applier. Analyzers attach machine-
+// applicable text edits to diagnostics; ApplyFixes stages every edit,
+// validates that each rewritten file still parses, and only then
+// writes anything — an all-or-nothing apply. The driver re-runs the
+// analysis afterwards and fails if a second pass would change the tree
+// again (idempotency), so `-fix` can gate CI.
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// TextEdit replaces the byte range [Start, End) of Filename with
+// NewText. Edits carry resolved offsets rather than token.Pos so they
+// stay valid after the loader (and its FileSet) is gone.
+type TextEdit struct {
+	Filename string
+	Start    int
+	End      int
+	NewText  string
+}
+
+// SuggestedFix is one machine-applicable resolution of a diagnostic.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// FixResult summarises one ApplyFixes run.
+type FixResult struct {
+	Applied int      // fixes applied
+	Skipped int      // fixes dropped because their edits overlapped an earlier fix
+	Files   []string // files rewritten, sorted
+}
+
+// ApplyFixes applies every suggested fix in diags to the files on
+// disk. Edits are staged per file; a fix whose edits overlap an
+// already-accepted fix is skipped (the next round picks it up). If any
+// rewritten file fails to parse, nothing is written and an error is
+// returned. sources may pre-supply file contents (nil means read from
+// disk).
+func ApplyFixes(diags []Diagnostic, sources map[string][]byte) (*FixResult, error) {
+	perFile := map[string][]TextEdit{}
+	res := &FixResult{}
+
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			if len(fix.Edits) == 0 {
+				continue
+			}
+			ok := true
+			for _, e := range fix.Edits {
+				for _, prev := range perFile[e.Filename] {
+					if e.Start < prev.End && prev.Start < e.End {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if !ok {
+				res.Skipped++
+				continue
+			}
+			for _, e := range fix.Edits {
+				perFile[e.Filename] = append(perFile[e.Filename], e)
+			}
+			res.Applied++
+		}
+	}
+	if len(perFile) == 0 {
+		return res, nil
+	}
+
+	// Stage: rewrite each file in memory, highest-offset edits first so
+	// earlier offsets stay valid.
+	staged := map[string][]byte{}
+	for file, edits := range perFile { //iguard:sorted staging order does not affect the result
+		src, ok := sources[file]
+		if !ok {
+			var err error
+			src, err = os.ReadFile(file)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: reading %s for -fix: %w", file, err)
+			}
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		out := append([]byte(nil), src...)
+		for _, e := range edits {
+			if e.Start < 0 || e.End > len(out) || e.Start > e.End {
+				return nil, fmt.Errorf("analysis: edit out of range in %s", file)
+			}
+			out = append(out[:e.Start], append([]byte(e.NewText), out[e.End:]...)...)
+		}
+		staged[file] = out
+		res.Files = append(res.Files, file)
+	}
+	sort.Strings(res.Files)
+
+	// Validate every staged file before writing any.
+	checkFset := token.NewFileSet()
+	for _, file := range res.Files {
+		if _, err := parser.ParseFile(checkFset, file, staged[file], parser.ParseComments); err != nil {
+			return nil, fmt.Errorf("analysis: fix would break %s: %w", file, err)
+		}
+	}
+	for _, file := range res.Files {
+		info, err := os.Stat(file)
+		mode := os.FileMode(0o644)
+		if err == nil {
+			mode = info.Mode().Perm()
+		}
+		if err := os.WriteFile(file, staged[file], mode); err != nil {
+			return nil, fmt.Errorf("analysis: writing %s: %w", file, err)
+		}
+	}
+	return res, nil
+}
+
+// FixableCount returns how many diagnostics carry at least one fix.
+func FixableCount(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if len(d.Fixes) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// deleteLinesFix builds a fix that removes the whole source lines
+// spanned by [pos, end), provided the node is alone on them (only
+// whitespace before it, only whitespace or a trailing line comment
+// after it). Returns nil when the surrounding line content makes a
+// clean deletion impossible.
+func (p *Pass) deleteLinesFix(message string, pos, end token.Pos) *SuggestedFix {
+	tf := p.Pkg.Fset.File(pos)
+	if tf == nil {
+		return nil
+	}
+	src, ok := p.Pkg.Sources[tf.Name()]
+	if !ok {
+		return nil
+	}
+	startLine := tf.Line(pos)
+	endLine := tf.Line(end)
+	lineStart := tf.Offset(tf.LineStart(startLine))
+	var lineEnd int
+	if endLine < tf.LineCount() {
+		lineEnd = tf.Offset(tf.LineStart(endLine + 1))
+	} else {
+		lineEnd = tf.Size()
+	}
+	nodeStart, nodeEnd := tf.Offset(pos), tf.Offset(end)
+	if !isBlankText(string(src[lineStart:nodeStart])) {
+		return nil
+	}
+	tail := strings.TrimSpace(string(src[nodeEnd:lineEnd]))
+	if tail != "" && !strings.HasPrefix(tail, "//") {
+		return nil
+	}
+	return &SuggestedFix{
+		Message: message,
+		Edits:   []TextEdit{{Filename: tf.Name(), Start: lineStart, End: lineEnd, NewText: ""}},
+	}
+}
+
+func isBlankText(s string) bool {
+	for _, r := range s {
+		if !unicode.IsSpace(r) {
+			return false
+		}
+	}
+	return true
+}

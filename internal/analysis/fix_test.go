@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// copyFixture clones a fixture package into a temp dir so -fix tests
+// can rewrite files without touching the repository tree.
+func copyFixture(t *testing.T, name string) string {
+	t.Helper()
+	src := filepath.Join("testdata", "src", name)
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// runSuite applies every analyzer to the package at dir, re-reading
+// sources from disk (the shared loader memoizes by directory).
+func runSuite(t *testing.T, dir string) []Diagnostic {
+	t.Helper()
+	ld := fixtureLoaderFor(t)
+	ld.Invalidate(dir)
+	pkg, err := ld.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	var diags []Diagnostic
+	for _, a := range All() {
+		diags = append(diags, RunAnalyzer(a, pkg)...)
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// TestApplyFixesDeadstore applies the deadstore deletions to a copy of
+// the deadbad fixture until convergence and checks idempotency: a final
+// apply on the fixed tree changes nothing.
+func TestApplyFixesDeadstore(t *testing.T) {
+	dir := copyFixture(t, "deadbad")
+	diags := runSuite(t, dir)
+	if FixableCount(diags) == 0 {
+		t.Fatal("deadbad fixture carries no fixable findings")
+	}
+	for round := 0; round < 8 && FixableCount(diags) > 0; round++ {
+		res, err := ApplyFixes(diags, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Applied == 0 {
+			break
+		}
+		diags = runSuite(t, dir)
+	}
+	if n := FixableCount(diags); n != 0 {
+		t.Fatalf("%d fixable findings remain after convergence:\n%v", n, diags)
+	}
+	// The pure dead store must be gone; impure ones must survive.
+	data, err := os.ReadFile(filepath.Join(dir, "deadbad.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if strings.Contains(text, "x = a + b") {
+		t.Error("pure dead store x = a + b not deleted")
+	}
+	if n := strings.Count(text, "total++"); n != 1 {
+		t.Errorf("dead increments remaining = %d, want 1 (DeadIncrement's deleted, DeadLastValue's kept)", n)
+	}
+	if !strings.Contains(text, "x := f()") {
+		t.Error("impure dead store deleted; the call's side effects were observable")
+	}
+	// Idempotency: a second apply has nothing left to do.
+	res, err := ApplyFixes(diags, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 0 {
+		t.Errorf("apply on fixed tree applied %d fixes, want 0", res.Applied)
+	}
+}
+
+// TestApplyFixesSuppress removes and rewrites stale directives.
+func TestApplyFixesSuppress(t *testing.T) {
+	dir := copyFixture(t, "suppressbad")
+	diags := runSuite(t, dir)
+	staleBefore := 0
+	for _, d := range diags {
+		if d.Analyzer == "suppress" {
+			staleBefore++
+			if len(d.Fixes) == 0 {
+				t.Errorf("stale directive without a fix: %s", d)
+			}
+		}
+	}
+	if staleBefore == 0 {
+		t.Fatal("no stale-suppression findings in suppressbad")
+	}
+	if _, err := ApplyFixes(diags, nil); err != nil {
+		t.Fatal(err)
+	}
+	diags = runSuite(t, dir)
+	for _, d := range diags {
+		if d.Analyzer == "suppress" {
+			t.Errorf("stale directive survived -fix: %s", d)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "suppressbad.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if strings.Contains(text, "floatcmp)") || strings.Contains(text, "nosuchcheck") || strings.Contains(text, "srted") {
+		t.Errorf("stale names remain after fix:\n%s", text)
+	}
+	// The partially stale list keeps its valid half, so the comparison
+	// it guards stays suppressed.
+	if !strings.Contains(text, "//iguard:allow(floatcompare)") {
+		t.Error("partially stale allow list not rewritten to its valid names")
+	}
+}
+
+// TestApplyFixesOverlap drops the later of two overlapping fixes and
+// reports it as skipped.
+func TestApplyFixesOverlap(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "o.go")
+	if err := os.WriteFile(file, []byte("package o\n\nvar V = 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{
+		{Fixes: []SuggestedFix{{Message: "a", Edits: []TextEdit{{Filename: file, Start: 19, End: 20, NewText: "2"}}}}},
+		{Fixes: []SuggestedFix{{Message: "b", Edits: []TextEdit{{Filename: file, Start: 19, End: 20, NewText: "3"}}}}},
+	}
+	res, err := ApplyFixes(diags, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Skipped != 1 {
+		t.Fatalf("applied=%d skipped=%d, want 1/1", res.Applied, res.Skipped)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "var V = 2") {
+		t.Errorf("first fix not applied: %s", data)
+	}
+}
+
+// TestApplyFixesParseGuard refuses to write a fix that breaks the file.
+func TestApplyFixesParseGuard(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "g.go")
+	orig := []byte("package g\n\nvar W = 1\n")
+	if err := os.WriteFile(file, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{
+		{Fixes: []SuggestedFix{{Message: "break it", Edits: []TextEdit{{Filename: file, Start: 0, End: 9, NewText: "packag g{"}}}}},
+	}
+	if _, err := ApplyFixes(diags, nil); err == nil {
+		t.Fatal("fix producing invalid Go was applied")
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(orig) {
+		t.Error("file modified despite failed validation")
+	}
+}

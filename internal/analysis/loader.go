@@ -31,6 +31,10 @@ type Package struct {
 	Types      *types.Package
 	Info       *types.Info
 
+	// Sources holds each file's bytes, keyed by absolute filename —
+	// suggested fixes are computed against them.
+	Sources map[string][]byte
+
 	// directives maps filename -> line -> //iguard: directives.
 	directives map[string]map[int][]string
 }
@@ -212,6 +216,7 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 		return nil, err
 	}
 	var files []*ast.File
+	sources := map[string][]byte{}
 	directives := map[string]map[int][]string{}
 	for _, e := range entries {
 		name := e.Name()
@@ -219,7 +224,11 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 			continue
 		}
 		full := filepath.Join(dir, name)
-		f, err := parser.ParseFile(l.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.Fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
@@ -227,6 +236,7 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 			continue
 		}
 		files = append(files, f)
+		sources[full] = src
 		directives[full] = scanDirectives(l.Fset, f)
 	}
 	if len(files) == 0 {
@@ -260,10 +270,21 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 		Files:      files,
 		Types:      tpkg,
 		Info:       info,
+		Sources:    sources,
 		directives: directives,
 	}
 	l.pkgs[dir] = pkg
 	return pkg, nil
+}
+
+// Invalidate drops the memoized package for dir, so the next LoadDir
+// re-reads its sources from disk. Callers that rewrite files (the -fix
+// loop, tests) must invalidate before re-analyzing; dependent packages
+// memoized earlier keep their old view and need their own invalidation.
+func (l *Loader) Invalidate(dir string) {
+	if abs, err := filepath.Abs(dir); err == nil {
+		delete(l.pkgs, abs)
+	}
 }
 
 // importPathFor maps a directory inside the module to its import path.

@@ -1,0 +1,427 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Lockcheck verifies the locking discipline internal/controller's
+// contract documents, on every CFG path:
+//
+//   - every mu.Lock() is released on all paths (explicitly or by a
+//     deferred Unlock), and never re-acquired while already held;
+//   - no Unlock without a matching Lock on some path;
+//   - no blocking operation happens inside a critical section: channel
+//     sends/receives, time.Sleep, WaitGroup.Wait, and — the
+//     Predict/Install class — method calls dispatched through an
+//     interface, whose implementation (a data-plane driver, a model)
+//     may block or take its own locks;
+//   - locks are never copied by value (receivers, parameters, results,
+//     assignments, range values).
+//
+// Read locks (RLock/RUnlock) are paired like write locks but may be
+// held multiple times. Panic paths are exempt from release pairing:
+// deferred unlocks run during unwinding.
+var Lockcheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "verify mutex acquire/release pairing on all CFG paths, forbid blocking " +
+		"calls under a held lock and lock copies in internal/ packages",
+	LibraryOnly: true,
+	Run:         runLockcheck,
+}
+
+// lockState is the per-path possibility of a lock being held.
+type lockHeld int
+
+const (
+	lockHeldYes   lockHeld = iota // held on every path into this point
+	lockHeldMaybe                 // held on some path only
+)
+
+type lockFact struct {
+	held     lockHeld
+	since    token.Pos // earliest Lock() position, for messages
+	deferred bool      // a deferred Unlock covers function exit
+	read     bool      // read lock (RLock)
+}
+
+// lockFacts maps a lock's canonical expression ("c.mu") to its state;
+// absent keys are definitely not held.
+type lockFacts map[string]*lockFact
+
+func (s lockFacts) clone() lockFacts {
+	out := make(lockFacts, len(s))
+	for k, v := range s { //iguard:sorted map copy is key-order independent
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+func runLockcheck(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		p.checkLockCopies(f)
+		for _, body := range functionBodies(f) {
+			p.lockcheckFunc(body)
+		}
+	}
+}
+
+func (p *Pass) lockcheckFunc(body *ast.BlockStmt) {
+	cfg := BuildCFG(p, body)
+	problem := FlowProblem{
+		Dir:      Forward,
+		Boundary: func() any { return lockFacts{} },
+		Merge:    mergeLockFacts,
+		Equal:    lockFactsEqual,
+		Transfer: func(b *Block, in any) any {
+			return p.lockTransfer(b, in.(lockFacts), false)
+		},
+	}
+	inFacts := Solve(cfg, problem)
+	for _, b := range cfg.Blocks {
+		in, ok := inFacts[b].(lockFacts)
+		if !ok {
+			continue
+		}
+		p.lockTransfer(b, in, true)
+	}
+	// Exit pairing: locks still (possibly) held at a normal return with
+	// no deferred release were forgotten on some path.
+	if exit, ok := inFacts[cfg.Exit].(lockFacts); ok {
+		for _, name := range sortedKeys(exit) {
+			f := exit[name]
+			if f.deferred {
+				continue
+			}
+			verb := "is"
+			if f.held == lockHeldMaybe {
+				verb = "may be"
+			}
+			p.Reportf(f.since,
+				"%s %s still locked when the function returns; unlock on every path or defer the unlock", name, verb)
+		}
+	}
+}
+
+func mergeLockFacts(a, b any) any {
+	x, y := a.(lockFacts), b.(lockFacts)
+	out := lockFacts{}
+	for k, v := range x { //iguard:sorted merge computes a per-key join, order-independent
+		c := *v
+		w, ok := y[k]
+		if !ok {
+			c.held = lockHeldMaybe
+		} else {
+			if w.held == lockHeldMaybe {
+				c.held = lockHeldMaybe
+			}
+			if w.since < c.since {
+				c.since = w.since
+			}
+			c.deferred = c.deferred || w.deferred
+		}
+		out[k] = &c
+	}
+	for k, v := range y { //iguard:sorted merge computes a per-key join, order-independent
+		if _, ok := x[k]; !ok {
+			c := *v
+			c.held = lockHeldMaybe
+			out[k] = &c
+		}
+	}
+	return out
+}
+
+func lockFactsEqual(a, b any) bool {
+	x, y := a.(lockFacts), b.(lockFacts)
+	if len(x) != len(y) {
+		return false
+	}
+	for k, v := range x { //iguard:sorted set comparison is order-independent
+		w, ok := y[k]
+		if !ok || w.held != v.held || w.deferred != v.deferred || w.since != v.since {
+			return false
+		}
+	}
+	return true
+}
+
+// lockTransfer interprets one block's nodes in order, mutating a copy
+// of the incoming fact. With report set it also emits diagnostics —
+// the solver calls it silently until the fixpoint stabilises.
+func (p *Pass) lockTransfer(b *Block, in lockFacts, report bool) any {
+	state := in.clone()
+	for _, n := range b.Nodes {
+		if rng, ok := n.(*ast.RangeStmt); ok {
+			n = rng.X // body statements live in their own blocks
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if name, op, ok := p.lockOp(d.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				if f, held := state[name]; held {
+					f.deferred = true
+				}
+			}
+			continue
+		}
+		ast.Inspect(n, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.FuncLit:
+				return false // analyzed as its own function
+			case *ast.SendStmt:
+				p.reportBlockedOp(state, node.Pos(), "channel send", report)
+			case *ast.UnaryExpr:
+				if node.Op == token.ARROW {
+					p.reportBlockedOp(state, node.Pos(), "channel receive", report)
+				}
+			case *ast.CallExpr:
+				p.lockCall(state, node, report)
+			}
+			return true
+		})
+	}
+	return state
+}
+
+// lockCall applies one call's effect on the lock state.
+func (p *Pass) lockCall(state lockFacts, call *ast.CallExpr, report bool) {
+	if name, op, ok := p.lockOp(call); ok {
+		switch op {
+		case "Lock", "RLock":
+			read := op == "RLock"
+			if f, held := state[name]; held && report && f.held == lockHeldYes && !read && !f.read {
+				p.Reportf(call.Pos(),
+					"%s.Lock() while %s is already held (locked at %s); this deadlocks", name, name, p.shortPos(f.since))
+			}
+			if _, held := state[name]; !held {
+				state[name] = &lockFact{held: lockHeldYes, since: call.Pos(), read: read}
+			}
+		case "Unlock", "RUnlock":
+			if _, held := state[name]; !held {
+				if report {
+					p.Reportf(call.Pos(),
+						"%s.%s() without a matching %s on this path", name, op, matchingLock(op))
+				}
+				return
+			}
+			delete(state, name)
+		}
+		return
+	}
+	if kind, ok := p.blockingCall(call); ok {
+		p.reportBlockedOp(state, call.Pos(), kind, report)
+	}
+}
+
+func matchingLock(unlockOp string) string {
+	if unlockOp == "RUnlock" {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// reportBlockedOp flags a blocking operation while any lock is held.
+func (p *Pass) reportBlockedOp(state lockFacts, pos token.Pos, kind string, report bool) {
+	if !report {
+		return
+	}
+	for _, name := range sortedKeys(state) {
+		f := state[name]
+		if f.held != lockHeldYes {
+			continue
+		}
+		p.Reportf(pos,
+			"%s while %s is held (locked at %s); move blocking work outside the critical section", kind, name, p.shortPos(f.since))
+		return // one report per operation is enough
+	}
+}
+
+// lockOp recognises X.Lock / X.Unlock / X.RLock / X.RUnlock /
+// X.TryLock where X is a sync.Mutex or sync.RWMutex (possibly behind a
+// pointer), returning X's canonical rendering and the operation.
+func (p *Pass) lockOp(call *ast.CallExpr) (name, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if !isMutexType(p.TypeOf(sel.X)) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// isMutexType recognises sync.Mutex and sync.RWMutex, optionally
+// behind a pointer.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+// blockingCall classifies calls that can block for unbounded time:
+// interface-dispatched methods (the data-plane Switch, model Predict
+// interfaces — the implementation is unknown and may block or lock),
+// time.Sleep, and WaitGroup.Wait. Interface methods named Error or
+// String are exempt: render-only by convention.
+func (p *Pass) blockingCall(call *ast.CallExpr) (string, bool) {
+	if pkgPath, fn, ok := p.PkgFunc(call); ok {
+		if pkgPath == "time" && fn == "Sleep" {
+			return "time.Sleep", true
+		}
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if sel.Sel.Name == "Wait" {
+		if t := p.TypeOf(sel.X); t != nil {
+			base := t
+			if ptr, isPtr := base.(*types.Pointer); isPtr {
+				base = ptr.Elem()
+			}
+			if named, isNamed := base.(*types.Named); isNamed && named.Obj().Pkg() != nil &&
+				named.Obj().Pkg().Path() == "sync" {
+				return "sync." + named.Obj().Name() + ".Wait", true
+			}
+		}
+	}
+	selection := p.Pkg.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return "", false
+	}
+	if !types.IsInterface(selection.Recv()) {
+		return "", false
+	}
+	if sel.Sel.Name == "Error" || sel.Sel.Name == "String" {
+		return "", false
+	}
+	return "interface call " + types.ExprString(sel.X) + "." + sel.Sel.Name, true
+}
+
+// checkLockCopies flags locks passed, returned, or assigned by value.
+func (p *Pass) checkLockCopies(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Recv != nil {
+				for _, field := range n.Recv.List {
+					p.checkLockField(field, "receiver")
+				}
+			}
+			if n.Type.Params != nil {
+				for _, field := range n.Type.Params.List {
+					p.checkLockField(field, "parameter")
+				}
+			}
+			if n.Type.Results != nil {
+				for _, field := range n.Type.Results.List {
+					p.checkLockField(field, "result")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if !copiesValue(rhs) {
+					continue
+				}
+				if t := p.TypeOf(rhs); containsLockType(t, nil) {
+					p.Reportf(rhs.Pos(), "assignment copies %s which contains a lock; use a pointer", t.String())
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := p.TypeOf(n.Value); containsLockType(t, nil) {
+					p.Reportf(n.Value.Pos(), "range value copies %s which contains a lock; iterate by index or use pointers", t.String())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (p *Pass) checkLockField(field *ast.Field, kind string) {
+	if _, isPtr := field.Type.(*ast.StarExpr); isPtr {
+		return
+	}
+	t := p.TypeOf(field.Type)
+	if !containsLockType(t, nil) {
+		return
+	}
+	p.Reportf(field.Type.Pos(), "%s passes %s by value, copying its lock; use a pointer", kind, t.String())
+}
+
+// copiesValue reports whether the expression yields a copy of an
+// existing value (as opposed to a freshly constructed one).
+func copiesValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copiesValue(e.X)
+	}
+	return false
+}
+
+// containsLockType reports whether t transitively contains a sync
+// mutex by value.
+func containsLockType(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil {
+		return false
+	}
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if isMutexType(t) {
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			return false
+		}
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockType(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockType(u.Elem(), seen)
+	}
+	return false
+}
+
+// sortedKeys returns the map's keys in sorted order for deterministic
+// reporting.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //iguard:sorted keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,430 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Seedflow is the flow-sensitive completion of the determinism check:
+// it proves every random source constructed in library code derives
+// from an explicit seed. A taint analysis over the function's CFG
+// tracks nondeterministic values (wall-clock reads, pids, crypto/rand
+// output, global math/rand draws) through local assignments and
+// arithmetic; a tainted value reaching a rand constructor
+// (rand.New/NewSource/NewZipf, mathx.NewRand) is reported together
+// with the source→sink taint path. Package-level *rand.Rand variables
+// are reported unconditionally: shared generator state across calls
+// breaks reproduction even when the seed is explicit.
+var Seedflow = &Analyzer{
+	Name: "seedflow",
+	Doc: "taint-track nondeterministic seed values into rand constructors and " +
+		"forbid package-level *rand.Rand state in internal/ packages",
+	LibraryOnly: true,
+	Run:         runSeedflow,
+}
+
+// maxTaintSteps bounds the recorded propagation path so cyclic
+// assignment chains converge; the source and sink are always kept.
+const maxTaintSteps = 8
+
+// taintInfo describes how a value became nondeterministic.
+type taintInfo struct {
+	src     token.Pos // position of the originating call
+	srcDesc string    // e.g. "time.Now"
+	steps   []taintStep
+}
+
+type taintStep struct {
+	pos  token.Pos
+	desc string // variable name the taint flowed through
+}
+
+// taintState maps tainted local variables to their provenance.
+// Variables absent from the map are clean.
+type taintState map[*types.Var]*taintInfo
+
+func (s taintState) clone() taintState {
+	out := make(taintState, len(s))
+	for k, v := range s { //iguard:sorted state copy is key-order independent
+		out[k] = v
+	}
+	return out
+}
+
+func runSeedflow(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		p.checkPackageLevelRand(f)
+		for _, body := range functionBodies(f) {
+			p.seedflowFunc(body)
+		}
+	}
+}
+
+// functionBodies collects every function body in the file: declarations
+// and literals, each analyzed as an independent CFG.
+func functionBodies(f *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				bodies = append(bodies, n.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, n.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// checkPackageLevelRand flags package-level variables of type
+// *rand.Rand or rand.Source.
+func (p *Pass) checkPackageLevelRand(f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj, ok := p.Pkg.Info.Defs[name].(*types.Var)
+				if !ok || !isRandType(obj.Type()) {
+					continue
+				}
+				p.Reportf(name.Pos(),
+					"package-level %s %s shares generator state across calls; thread a seeded *rand.Rand through parameters or struct fields instead",
+					obj.Type().String(), name.Name)
+			}
+		}
+	}
+}
+
+// isRandType recognises *rand.Rand, rand.Rand, and rand.Source from
+// math/rand or math/rand/v2.
+func isRandType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg := named.Obj().Pkg().Path()
+	name := named.Obj().Name()
+	return (pkg == "math/rand" || pkg == "math/rand/v2") && (name == "Rand" || name == "Source" || name == "Source64")
+}
+
+// seedflowFunc runs the taint analysis over one function body.
+func (p *Pass) seedflowFunc(body *ast.BlockStmt) {
+	cfg := BuildCFG(p, body)
+	problem := FlowProblem{
+		Dir:      Forward,
+		Boundary: func() any { return taintState{} },
+		Merge:    p.mergeTaint,
+		Equal:    taintEqual,
+		Transfer: func(b *Block, in any) any {
+			return p.taintTransfer(b, in.(taintState), nil)
+		},
+	}
+	inFacts := Solve(cfg, problem)
+	// Deterministic reporting pass over stabilised entry facts.
+	for _, b := range cfg.Blocks {
+		in, ok := inFacts[b].(taintState)
+		if !ok {
+			continue
+		}
+		p.taintTransfer(b, in, p.reportTaintSink)
+	}
+}
+
+func (p *Pass) mergeTaint(a, b any) any {
+	x, y := a.(taintState), b.(taintState)
+	out := x.clone()
+	for k, v := range y { //iguard:sorted merge keeps the earliest source per var, order-independent
+		if cur, ok := out[k]; !ok || v.src < cur.src {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func taintEqual(a, b any) bool {
+	x, y := a.(taintState), b.(taintState)
+	if len(x) != len(y) {
+		return false
+	}
+	for k, v := range x { //iguard:sorted set comparison is order-independent
+		w, ok := y[k]
+		if !ok || w.src != v.src {
+			return false
+		}
+	}
+	return true
+}
+
+// taintTransfer interprets one block. When report is non-nil, sink
+// calls found with tainted arguments are reported through it.
+func (p *Pass) taintTransfer(b *Block, in taintState, report func(call *ast.CallExpr, arg ast.Expr, info *taintInfo)) any {
+	state := in.clone()
+	for _, n := range b.Nodes {
+		if report != nil {
+			// A RangeStmt node carries its body statements too, but those
+			// live in their own blocks; only the range expression belongs
+			// to this block.
+			if rng, ok := n.(*ast.RangeStmt); ok {
+				p.findTaintSinks(rng.X, state, report)
+			} else {
+				p.findTaintSinks(n, state, report)
+			}
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			p.taintAssign(n, state)
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						p.taintValueSpec(vs, state)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if info := p.taintOf(n.X, state); info != nil {
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if v := p.localVar(e); v != nil {
+						state[v] = flowThrough(info, e.Pos(), v.Name())
+					}
+				}
+			}
+		}
+	}
+	return state
+}
+
+// taintAssign applies one assignment's strong updates.
+func (p *Pass) taintAssign(assign *ast.AssignStmt, state taintState) {
+	// Single multi-value RHS: the call's taint covers every LHS.
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		info := p.taintOf(assign.Rhs[0], state)
+		for _, lhs := range assign.Lhs {
+			p.setTaint(lhs, info, state)
+		}
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		if i >= len(assign.Rhs) {
+			break
+		}
+		p.setTaint(lhs, p.taintOf(assign.Rhs[i], state), state)
+	}
+}
+
+func (p *Pass) taintValueSpec(vs *ast.ValueSpec, state taintState) {
+	for i, name := range vs.Names {
+		var info *taintInfo
+		if i < len(vs.Values) {
+			info = p.taintOf(vs.Values[i], state)
+		} else if len(vs.Values) == 1 {
+			info = p.taintOf(vs.Values[0], state)
+		}
+		p.setTaint(name, info, state)
+	}
+}
+
+// setTaint records (or clears, for a clean RHS) the taint of an
+// assignment target. Only simple local variables are tracked.
+func (p *Pass) setTaint(lhs ast.Expr, info *taintInfo, state taintState) {
+	v := p.localVar(lhs)
+	if v == nil {
+		return
+	}
+	if info == nil {
+		delete(state, v)
+		return
+	}
+	state[v] = flowThrough(info, lhs.Pos(), v.Name())
+}
+
+// flowThrough extends a taint path by one assignment step, bounded so
+// cyclic flows converge.
+func flowThrough(info *taintInfo, pos token.Pos, name string) *taintInfo {
+	out := &taintInfo{src: info.src, srcDesc: info.srcDesc}
+	out.steps = append(out.steps, info.steps...)
+	if len(out.steps) < maxTaintSteps {
+		out.steps = append(out.steps, taintStep{pos: pos, desc: name})
+	}
+	return out
+}
+
+// localVar resolves an expression to the local variable it names, or
+// nil for blank, fields, indexing, and package-level names.
+func (p *Pass) localVar(e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	var obj types.Object
+	if d, ok := p.Pkg.Info.Defs[id]; ok {
+		obj = d
+	} else {
+		obj = p.Pkg.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Parent() == p.Pkg.Types.Scope() || v.Parent() == types.Universe {
+		return nil // package-level state is handled separately
+	}
+	return v
+}
+
+// taintOf computes the taint of an expression: a direct
+// nondeterministic source call, or any tainted variable it reads.
+// Function literals are opaque (their bodies are analyzed separately).
+func (p *Pass) taintOf(e ast.Expr, state taintState) *taintInfo {
+	if e == nil {
+		return nil
+	}
+	var found *taintInfo
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if desc, ok := p.nondetSource(n); ok {
+				found = &taintInfo{src: n.Pos(), srcDesc: desc}
+				return false
+			}
+		case *ast.Ident:
+			if v := p.localVar(n); v != nil {
+				if info, ok := state[v]; ok {
+					found = info
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// nondetSource reports whether the call produces a value that differs
+// across runs: wall-clock reads, process ids, crypto randomness, and
+// draws from the global math/rand generator.
+func (p *Pass) nondetSource(call *ast.CallExpr) (string, bool) {
+	pkgPath, fn, ok := p.PkgFunc(call)
+	if !ok {
+		return "", false
+	}
+	switch pkgPath {
+	case "time":
+		if fn == "Now" || fn == "Since" {
+			return "time." + fn, true
+		}
+	case "os":
+		if fn == "Getpid" || fn == "Getppid" {
+			return "os." + fn, true
+		}
+	case "crypto/rand":
+		return "crypto/rand." + fn, true
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn] {
+			return "rand." + fn, true
+		}
+	}
+	return "", false
+}
+
+// findTaintSinks reports rand-constructor calls fed a tainted seed.
+func (p *Pass) findTaintSinks(n ast.Node, state taintState, report func(call *ast.CallExpr, arg ast.Expr, info *taintInfo)) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok || !p.isRandConstructor(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			// A nested constructor argument — rand.New(rand.NewSource(s))
+			// — is reported at the inner call only.
+			if inner, isCall := arg.(*ast.CallExpr); isCall && p.isRandConstructor(inner) {
+				continue
+			}
+			// Direct nested source calls (rand.NewSource(time.Now()…))
+			// are the syntactic determinism check's finding; seedflow
+			// owns the flow-through-variables case.
+			if info := p.taintOf(arg, state); info != nil && containsTaintedVar(p, arg, state) {
+				report(call, arg, info)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// containsTaintedVar reports whether the expression reads a variable
+// that is tainted in the current state (as opposed to containing a
+// nondeterministic call directly).
+func containsTaintedVar(p *Pass, e ast.Expr, state taintState) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v := p.localVar(id); v != nil {
+				if _, ok := state[v]; ok {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isRandConstructor recognises the seed sinks: math/rand constructors
+// and the module's mathx.NewRand wrapper.
+func (p *Pass) isRandConstructor(call *ast.CallExpr) bool {
+	pkgPath, fn, ok := p.PkgFunc(call)
+	if !ok {
+		return false
+	}
+	if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && randConstructors[fn] {
+		return true
+	}
+	return strings.HasSuffix(pkgPath, "/mathx") && fn == "NewRand"
+}
+
+// reportTaintSink renders the source→sink taint path into the message.
+func (p *Pass) reportTaintSink(call *ast.CallExpr, arg ast.Expr, info *taintInfo) {
+	var path strings.Builder
+	fmt.Fprintf(&path, "%s (%s)", info.srcDesc, p.shortPos(info.src))
+	for _, s := range info.steps {
+		fmt.Fprintf(&path, " → %s (%s)", s.desc, p.shortPos(s.pos))
+	}
+	fmt.Fprintf(&path, " → %s (%s)", exprName(call), p.shortPos(call.Pos()))
+	p.Reportf(call.Pos(),
+		"random source seeded from a nondeterministic value; taint path: %s — derive the seed from configuration instead", path.String())
+}
+
+// shortPos renders "file.go:line" for taint-path steps.
+func (p *Pass) shortPos(pos token.Pos) string {
+	position := p.Pkg.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(position.Filename), position.Line)
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppress keeps the escape hatches honest: an //iguard: directive
+// whose name matches no analyzer in the suite suppresses nothing and
+// silently rots — typically a typo, or a waiver for an analyzer that
+// was since renamed. Stale directives are reported with a suggested
+// fix that removes them (or, for a partially stale
+// //iguard:allow(a,b) list, rewrites the list to its valid names).
+var Suppress = &Analyzer{
+	Name: "suppress",
+	Doc: "report //iguard: directives that name no known analyzer, " +
+		"with -fix removals",
+	LibraryOnly: false,
+}
+
+// Run is attached in an init function: runSuppress consults All(),
+// which lists Suppress itself, and Go rejects that initialization
+// cycle in a composite literal.
+func init() { Suppress.Run = runSuppress }
+
+func runSuppress(p *Pass) {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, f := range p.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				p.checkDirective(c, known)
+			}
+		}
+	}
+}
+
+func (p *Pass) checkDirective(c *ast.Comment, known map[string]bool) {
+	d, ok := directiveOf(c)
+	if !ok {
+		return
+	}
+	if d == "sorted" {
+		return
+	}
+	names, isAllow := allowNames(d)
+	if !isAllow {
+		p.ReportFix(c.Pos(), p.removeDirectiveFixes(c, nil),
+			"stale suppression: %q is not an iguard-vet directive (use sorted or allow(<analyzer>))", d)
+		return
+	}
+	var valid, stale []string
+	for _, n := range names {
+		if known[n] {
+			valid = append(valid, n)
+		} else {
+			stale = append(stale, n)
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	p.ReportFix(c.Pos(), p.removeDirectiveFixes(c, valid),
+		"stale suppression: no analyzer named %s", strings.Join(stale, ", "))
+}
+
+// removeDirectiveFixes builds the fix for a stale directive comment:
+// rewrite the allow list to its valid names, or — when nothing valid
+// remains — delete the comment (the whole line when it stands alone).
+func (p *Pass) removeDirectiveFixes(c *ast.Comment, validNames []string) []SuggestedFix {
+	tf := p.Pkg.Fset.File(c.Pos())
+	if tf == nil {
+		return nil
+	}
+	if len(validNames) > 0 {
+		fields := strings.Fields(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "iguard:"))
+		reason := ""
+		if len(fields) > 1 {
+			reason = " " + strings.Join(fields[1:], " ")
+		}
+		return []SuggestedFix{{
+			Message: "rewrite directive to its valid analyzer names",
+			Edits: []TextEdit{{
+				Filename: tf.Name(),
+				Start:    tf.Offset(c.Pos()),
+				End:      tf.Offset(c.End()),
+				NewText:  "//iguard:allow(" + strings.Join(validNames, ",") + ")" + reason,
+			}},
+		}}
+	}
+	if fix := p.deleteLinesFix("delete stale suppression directive", c.Pos(), c.End()); fix != nil {
+		return []SuggestedFix{*fix}
+	}
+	// Trailing comment: delete it together with the spaces before it.
+	src, ok := p.Pkg.Sources[tf.Name()]
+	if !ok {
+		return nil
+	}
+	start := tf.Offset(c.Pos())
+	for start > 0 && (src[start-1] == ' ' || src[start-1] == '\t') {
+		start--
+	}
+	return []SuggestedFix{{
+		Message: "delete stale suppression directive",
+		Edits:   []TextEdit{{Filename: tf.Name(), Start: start, End: tf.Offset(c.End()), NewText: ""}},
+	}}
+}

@@ -1,5 +1,6 @@
 // Package clean is an iguard-vet fixture with zero findings: the
-// sanctioned patterns for randomness, time, errors, floats, and output.
+// sanctioned patterns for randomness, time, errors, floats, output,
+// seed flow, locking, and liveness.
 package clean
 
 import (
@@ -7,6 +8,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -46,4 +48,67 @@ func Describe(m map[string]float64) (string, error) {
 // Near compares floats with an epsilon.
 func Near(a, b float64) bool {
 	return math.Abs(a-b) < 1e-9
+}
+
+// SeededFlow threads an explicit seed through locals into the
+// constructor; seedflow's taint analysis proves the chain clean.
+func SeededFlow(seed int64) float64 {
+	offset := seed*2 + 1
+	src := rand.NewSource(offset)
+	r := rand.New(src)
+	return r.Float64()
+}
+
+// applier mirrors the controller's data-plane surface: an interface
+// whose implementation may block.
+type applier interface {
+	Apply(n int) bool
+}
+
+// registry pairs its lock on every path and keeps interface calls
+// outside the critical section.
+type registry struct {
+	mu    sync.Mutex
+	count int
+}
+
+// Record decides under the lock and acts after releasing it — the
+// pattern lockcheck enforces for blocking work.
+func (r *registry) Record(a applier, n int) bool {
+	r.mu.Lock()
+	r.count += n
+	total := r.count
+	r.mu.Unlock()
+	return a.Apply(total)
+}
+
+// Snapshot releases via defer, which covers every exit path.
+func (r *registry) Snapshot(flag bool) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if flag {
+		return 0
+	}
+	return r.count
+}
+
+// Accumulate's closure capture exempts sum from dead-store analysis,
+// and every store is read anyway.
+func Accumulate(xs []float64) float64 {
+	sum := 0.0
+	add := func(v float64) { sum += v }
+	for _, x := range xs {
+		add(x)
+	}
+	return sum
+}
+
+// Escapes returns the address of a local: stores through it are
+// observable, so liveness never flags them.
+func Escapes(xs []int) *int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return &n
 }

@@ -1,0 +1,79 @@
+// Package deadbad is an iguard-vet fixture: stores no path reads again
+// and statements no path reaches — the refactoring leftovers the
+// deadstore analyzer flags (and, for side-effect-free stores, deletes
+// under -fix). Expected findings are marked with analyzer-name markers
+// on the offending lines (see analysis_test.go).
+package deadbad
+
+// DeadAssign overwrites x before any read; the store is pure, so -fix
+// deletes the line.
+func DeadAssign(a, b int) int {
+	x := a
+	y := x + 1
+	x = a + b // want:deadstore
+	x = y
+	return x
+}
+
+// DeadIncrement bumps a counter after its last read.
+func DeadIncrement(n int) int {
+	total := n
+	final := total
+	total++ // want:deadstore
+	return final
+}
+
+// DeadLastValue's final store has no surviving read, so deleting it
+// would leave the declaration unused: reported, but not fixable.
+func DeadLastValue(n int) int {
+	total := n
+	total++ // want:deadstore
+	return 0
+}
+
+// DeadDecl initializes a variable every path overwrites.
+func DeadDecl() int {
+	var x = 5 // want:deadstore
+	x = 7
+	return x
+}
+
+// DeadOnBranch stores a value only one branch reads.
+func DeadOnBranch(flag bool, a int) int {
+	x := a * 2 // want:deadstore
+	if flag {
+		x = 1
+		return x
+	}
+	x = 2
+	return x
+}
+
+// AfterReturn contains a statement no path reaches.
+func AfterReturn(a int) int {
+	if a > 0 {
+		return a
+		a = 1 // want:deadstore
+	}
+	return -a
+}
+
+// AfterLoop never leaves the loop, so the tail is unreachable.
+func AfterLoop(a int) int {
+	for {
+		a++
+		if a > 10 {
+			return a
+		}
+	}
+	a = 0 // want:deadstore
+	return a
+}
+
+// Impure stores are reported but carry no fix: deleting the call could
+// change behaviour.
+func Impure(f func() int) int {
+	x := f() // want:deadstore
+	x = 3
+	return x
+}

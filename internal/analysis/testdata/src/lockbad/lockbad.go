@@ -1,0 +1,114 @@
+// Package lockbad is an iguard-vet fixture: every violation of the
+// locking discipline the lockcheck analyzer enforces — unbalanced
+// acquire/release across CFG paths, blocking operations inside
+// critical sections, and locks copied by value. Expected findings are
+// marked with analyzer-name markers on the offending lines (see
+// analysis_test.go).
+package lockbad
+
+import (
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// device stands in for the controller's data-plane Switch: an
+// interface whose implementation may block for unbounded time.
+type device interface {
+	Install(n int) bool
+}
+
+// MissingUnlock leaves mu held on the early-return path.
+func (g *guarded) MissingUnlock(flag bool) int {
+	g.mu.Lock() // want:lockcheck
+	if flag {
+		return g.n
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+// NeverUnlocked acquires and forgets on every path.
+func (g *guarded) NeverUnlocked() {
+	g.mu.Lock() // want:lockcheck
+	g.n++
+}
+
+// DoubleLock re-acquires a lock it already holds: self-deadlock.
+func (g *guarded) DoubleLock() {
+	g.mu.Lock()
+	g.mu.Lock() // want:lockcheck
+	g.mu.Unlock()
+}
+
+// UnmatchedUnlock releases a lock no path acquired.
+func (g *guarded) UnmatchedUnlock() {
+	g.mu.Unlock() // want:lockcheck
+}
+
+// InstallUnder dispatches through an interface while holding the lock;
+// the implementation may block or take its own locks.
+func (g *guarded) InstallUnder(d device) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	d.Install(g.n) // want:lockcheck
+}
+
+// SendUnder performs a channel send inside the critical section.
+func (g *guarded) SendUnder(ch chan int) {
+	g.mu.Lock()
+	ch <- g.n // want:lockcheck
+	g.mu.Unlock()
+}
+
+// RecvUnder performs a channel receive inside the critical section.
+func (g *guarded) RecvUnder(ch chan int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-ch // want:lockcheck
+}
+
+// SleepUnder sleeps while holding the lock.
+func (g *guarded) SleepUnder() {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want:lockcheck
+	g.mu.Unlock()
+}
+
+// ByValueReceiver copies the lock with every call.
+func (g guarded) ByValueReceiver() int { // want:lockcheck
+	return g.n
+}
+
+// CopyParam copies the lock into the parameter.
+func CopyParam(g guarded) int { // want:lockcheck
+	return g.n
+}
+
+// CopyAssign snapshots a guarded struct, lock included.
+func CopyAssign(g *guarded) int {
+	snapshot := *g // want:lockcheck
+	return snapshot.n
+}
+
+// CopyRange copies the lock into the range value each iteration.
+func CopyRange(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want:lockcheck
+		total += g.n
+	}
+	return total
+}
+
+// MaybeLocked acquires on one branch and returns with the lock
+// possibly held.
+func (g *guarded) MaybeLocked(flag bool) {
+	if flag {
+		g.mu.Lock() // want:lockcheck
+	}
+	g.n++
+}

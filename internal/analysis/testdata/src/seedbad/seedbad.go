@@ -1,0 +1,65 @@
+// Package seedbad is an iguard-vet fixture: seed values that flow from
+// nondeterministic sources into random generators through local
+// variables — the cases the flow-sensitive seedflow analyzer exists to
+// catch (the syntactic determinism check only sees direct nesting).
+// Expected findings are marked with analyzer-name markers on the
+// offending lines (see analysis_test.go).
+package seedbad
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// pkgRNG shares generator state across every caller, so results depend
+// on call order even though the seed is explicit.
+var pkgRNG = rand.New(rand.NewSource(1)) // want:seedflow
+
+// Draw makes the package-level generator look used.
+func Draw() float64 { return pkgRNG.Float64() }
+
+// ClockSeeded launders a wall-clock read through two locals before it
+// reaches the generator; only flow tracking connects source to sink.
+func ClockSeeded() float64 {
+	now := time.Now() // want:determinism
+	seed := now.UnixNano()
+	src := rand.NewSource(seed) // want:seedflow
+	r := rand.New(src)          // want:seedflow
+	return r.Float64()
+}
+
+// PidSeeded derives the seed from the process id.
+func PidSeeded() float64 {
+	seed := int64(os.Getpid())
+	r := rand.New(rand.NewSource(seed)) // want:seedflow
+	return r.Float64()
+}
+
+// GlobalDraw seeds one generator from the shared global generator.
+func GlobalDraw() float64 {
+	seed := rand.Int63()                // want:determinism
+	r := rand.New(rand.NewSource(seed)) // want:seedflow
+	return r.Float64()
+}
+
+// MaybeClock is tainted on one branch only; the path merge keeps the
+// taint, because some executions are nondeterministic.
+func MaybeClock(flag bool, base int64) float64 {
+	seed := base
+	if flag {
+		seed = time.Now().UnixNano() // want:determinism
+	}
+	r := rand.New(rand.NewSource(seed)) // want:seedflow
+	return r.Float64()
+}
+
+// Sanitized overwrites the tainted value before it reaches the
+// generator; the strong update clears the taint (and leaves the first
+// store dead).
+func Sanitized(base int64) float64 {
+	seed := time.Now().UnixNano() // want:determinism want:deadstore
+	seed = base
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

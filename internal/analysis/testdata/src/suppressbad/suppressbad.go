@@ -1,0 +1,35 @@
+// Package suppressbad is an iguard-vet fixture: //iguard: directives
+// that suppress nothing — typos, renamed analyzers, unknown directive
+// names. Each is reported by the suppress analyzer with a fix that
+// removes it (or trims an allow list to its valid names). Expected
+// findings are marked with analyzer-name markers on the offending
+// lines (see analysis_test.go).
+package suppressbad
+
+// Typo names no analyzer, so the comparison below is still reported.
+func Typo(a, b float64) bool {
+	//iguard:allow(floatcmp) misspelled analyzer name // want:suppress
+	return a == b // want:floatcompare
+}
+
+// PartiallyStale mixes one valid name with one unknown name: the valid
+// half suppresses, the stale half is reported and trimmed by -fix.
+func PartiallyStale(a, b float64) bool {
+	//iguard:allow(floatcompare,nosuchcheck) exact identity intended // want:suppress
+	return a == b
+}
+
+// UnknownDirective uses a directive word the tool never defined.
+func UnknownDirective(m map[string]int) int {
+	n := 0
+	//iguard:srted misspelled directive // want:suppress
+	for _, v := range m { // want:determinism
+		n += v
+	}
+	return n
+}
+
+// Trailing is a stale directive sitting after code on the same line.
+func Trailing(a, b float64) bool {
+	return a == b //iguard:allow(floatcmp2) stale trailing directive // want:suppress want:floatcompare
+}

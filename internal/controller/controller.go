@@ -51,13 +51,18 @@ type Stats struct {
 // Controller is the control-plane agent. It is safe for concurrent use
 // (digests may arrive from multiple pipelines).
 //
-// Locking contract: mu guards order, index, and stats — every exported
-// method acquires it for its full body, and methods with the *Locked
-// suffix require it held. sw, capacity, and policy are set by New and
-// never written afterwards, so they may be read without the lock; the
-// Switch implementation must provide its own synchronisation (switchsim.
-// Switch does), because it is invoked with mu held and from whichever
-// goroutine delivered the digest.
+// Locking contract: mu guards order, index, and stats — exported
+// methods acquire it around their bookkeeping, and methods with the
+// *Locked suffix require it held. sw, capacity, and policy are set by
+// New and never written afterwards, so they may be read without the
+// lock. Data-plane calls (ClearFlow, InstallBlacklist,
+// RemoveBlacklist) are never made while mu is held: they dispatch
+// through the Switch interface to an implementation whose latency the
+// controller cannot bound, and holding mu across them would stall
+// every other digest pipeline. OnDigest decides the actions under mu
+// and applies them after unlocking; the Switch implementation must
+// provide its own synchronisation (switchsim.Switch does), because it
+// is invoked from whichever goroutine delivered the digest.
 type Controller struct {
 	mu       sync.Mutex
 	sw       Switch
@@ -88,42 +93,59 @@ func New(sw Switch, capacity int, policy EvictionPolicy) *Controller {
 // evicting the oldest (FIFO) or least-recently-confirmed (LRU) entry
 // when full.
 func (c *Controller) OnDigest(d switchsim.Digest) {
+	key := d.Key.Canonical()
+
+	// Decide under the lock, act after it: the bookkeeping (order,
+	// index, stats) is mu-guarded, but the data-plane calls are
+	// interface dispatches of unbounded latency and must not extend
+	// the critical section.
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.stats.DigestsReceived++
 	c.stats.BytesReceived += switchsim.DigestBytes
-	c.sw.ClearFlow(d.Key)
 	c.stats.StorageCleared++
-	if d.Label != 1 {
-		return
-	}
-	key := d.Key.Canonical()
-	if el, ok := c.index[key]; ok {
-		// Already blacklisted: LRU refreshes recency, FIFO does not.
-		if c.policy == LRU {
-			c.order.MoveToBack(el)
+	install := false
+	var evicted []features.FlowKey
+	if d.Label == 1 {
+		if el, ok := c.index[key]; ok {
+			// Already blacklisted: LRU refreshes recency, FIFO does not.
+			if c.policy == LRU {
+				c.order.MoveToBack(el)
+			}
+		} else {
+			if c.order.Len() >= c.capacity {
+				if victim, ok := c.popVictimLocked(); ok {
+					evicted = append(evicted, victim)
+					c.stats.RulesEvicted++
+				}
+			}
+			c.index[key] = c.order.PushBack(key)
+			c.stats.RulesInstalled++
+			install = true
 		}
-		return
 	}
-	if c.order.Len() >= c.capacity {
-		c.evictLocked()
+	c.mu.Unlock()
+
+	c.sw.ClearFlow(d.Key)
+	for _, victim := range evicted {
+		c.sw.RemoveBlacklist(victim)
 	}
-	c.index[key] = c.order.PushBack(key)
-	c.sw.InstallBlacklist(key)
-	c.stats.RulesInstalled++
+	if install {
+		c.sw.InstallBlacklist(key)
+	}
 }
 
-// evictLocked removes the front entry. Caller holds the lock.
-func (c *Controller) evictLocked() {
+// popVictimLocked removes and returns the front (next-to-evict) entry
+// from the bookkeeping; the caller issues the data-plane removal after
+// releasing the lock. Caller holds the lock.
+func (c *Controller) popVictimLocked() (features.FlowKey, bool) {
 	front := c.order.Front()
 	if front == nil {
-		return
+		return features.FlowKey{}, false
 	}
 	key := front.Value.(features.FlowKey)
 	c.order.Remove(front)
 	delete(c.index, key)
-	c.sw.RemoveBlacklist(key)
-	c.stats.RulesEvicted++
+	return key, true
 }
 
 // Touch records data-plane activity for an already blacklisted flow
