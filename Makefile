@@ -1,6 +1,6 @@
 # Convenience targets for the iGuard reproduction.
 
-.PHONY: build test bench eval eval-quick examples fmt vet lint fix sarif race
+.PHONY: build test bench bench-parallel eval eval-quick examples fmt vet lint fix sarif race
 
 build:
 	go build ./...
@@ -11,6 +11,11 @@ test:
 # Benchmarks regenerating every table and figure (single iteration each).
 bench:
 	go test -bench=. -benchmem -benchtime=1x .
+
+# Training-throughput scaling across worker counts (the model is
+# byte-identical at every P; only wall-clock changes).
+bench-parallel:
+	go test -bench=BenchmarkTrainParallelism -benchtime=1x -run '^$$' .
 
 # Full-size evaluation (several minutes).
 eval:

@@ -356,3 +356,26 @@ func BenchmarkTrainPipeline(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTrainParallelism measures the full training pipeline at
+// increasing worker counts — the model is byte-identical at every P
+// (pinned by TestTrainDeterminismAcrossParallelism); only wall-clock
+// changes. Run on a multi-core box:
+//
+//	make bench-parallel
+func BenchmarkTrainParallelism(b *testing.B) {
+	trace := traffic.GenerateBenign(1, 300)
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.AEEpochs = 10
+			cfg.Parallelism = p
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Train(trace.Packets, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

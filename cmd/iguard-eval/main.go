@@ -32,6 +32,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "use the down-scaled configuration")
 		seed       = flag.Int64("seed", 1, "experiment seed")
 		format     = flag.String("format", "text", "output format: text or json")
+		workers    = flag.Int("parallelism", 0, "training worker pool size (0 = GOMAXPROCS); results are identical for every value")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 		cfg = experiments.QuickLabConfig()
 	}
 	cfg.Data.Seed = *seed
+	cfg.Parallelism = *workers
 	lab := experiments.NewLab(cfg)
 
 	attacks := traffic.AllAttacks()

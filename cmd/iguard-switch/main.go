@@ -37,7 +37,9 @@ func main() {
 	flag.Parse()
 
 	det := loadOrTrain(*modelPath, *trainSyn, *seed)
-	sw, ctrl := det.Deploy(iguard.DefaultDeployConfig())
+	dep := det.NewDeployment(iguard.DefaultDeployConfig())
+	defer dep.Close()
+	sw := dep.Switch
 
 	var packets []iguard.Packet
 	var truth *traffic.Trace
@@ -91,10 +93,11 @@ func main() {
 	}
 	fmt.Printf("\ndrops=%d digests=%d (%d B) recirculated=%d mirroredCPU=%d hardCollisions=%d\n",
 		c.Drops, c.Digests, c.DigestBytes, c.Recirculated, c.MirroredCPU, c.HardCollisions)
-	st := ctrl.Stats()
+	ds := dep.Stats()
+	st := ds.Controller
 	fmt.Printf("controller: digests=%d installed=%d evicted=%d cleared=%d\n",
 		st.DigestsReceived, st.RulesInstalled, st.RulesEvicted, st.StorageCleared)
-	fmt.Printf("blacklist size: %d\n", sw.BlacklistLen())
+	fmt.Printf("blacklist size: %d\n", ds.BlacklistLen)
 	fmt.Printf("modelled per-packet latency: %v\n", sw.AvgLatency())
 	fmt.Printf("\nresources: %s\n", sw.Usage().Fractions(switchsim.Tofino1Budget()))
 

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"iguard"
@@ -30,6 +32,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 5*time.Second, "flow idle timeout δ")
 		seed      = flag.Int64("seed", 1, "training seed")
 		epochs    = flag.Int("epochs", 40, "autoencoder training epochs")
+		workers   = flag.Int("parallelism", 0, "training worker pool size (0 = GOMAXPROCS); the trained model is identical for every value")
 	)
 	flag.Parse()
 
@@ -61,9 +64,15 @@ func main() {
 	cfg.FlowThreshold = *n
 	cfg.FlowTimeout = *timeout
 	cfg.AEEpochs = *epochs
+	cfg.Parallelism = *workers
+
+	// Ctrl-C cancels training cooperatively instead of killing the
+	// process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	start := time.Now()
-	det, err := iguard.Train(packets, cfg)
+	det, err := iguard.TrainContext(ctx, packets, cfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -35,7 +35,9 @@ func main() {
 	}
 
 	// Deploy: switch plus controller with LRU blacklist eviction.
-	sw, ctrl := det.Deploy(iguard.DefaultDeployConfig())
+	dep := det.NewDeployment(iguard.DefaultDeployConfig())
+	defer dep.Close()
+	sw := dep.Switch
 
 	// A UDP flood arrives mixed into normal traffic.
 	benign := traffic.GenerateBenign(2, 150)
@@ -72,7 +74,7 @@ func main() {
 			sw.BlacklistLen())
 	}
 
-	st := ctrl.Stats()
+	st := dep.Stats().Controller
 	fmt.Printf("\nflood packets dropped: %d/%d (%.1f%%)\n",
 		floodDropped, floodTotal, 100*float64(floodDropped)/float64(floodTotal))
 	fmt.Printf("controller installed %d blacklist rules from %d digests (%d B of control traffic)\n",

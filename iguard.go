@@ -15,14 +15,26 @@
 //
 //	det, err := iguard.Train(benignPackets, iguard.DefaultConfig())
 //	verdict := det.ClassifyFlow(flowFeatures) // 0 benign, 1 malicious
-//	sw, ctrl := det.Deploy(iguard.DefaultDeployConfig())
+//	dep := det.NewDeployment(iguard.DefaultDeployConfig())
+//
+// Training is deterministic and parallel: Config.Parallelism bounds
+// the worker pool fanned out across grid-search candidates, ensemble
+// members, and forest trees, and the trained model is byte-identical
+// for every worker count (each unit derives its own random stream from
+// the seed and its index). TrainContext and TrainOnFeaturesContext
+// accept a context for cooperative cancellation mid-training, and
+// Config.Validate rejects misconfiguration up front with one joined
+// descriptive error.
 //
 // See the examples directory for complete programs.
 package iguard
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"iguard/internal/autoencoder"
@@ -32,6 +44,7 @@ import (
 	"iguard/internal/mathx"
 	"iguard/internal/metrics"
 	"iguard/internal/netpkt"
+	"iguard/internal/parallel"
 	"iguard/internal/rules"
 	"iguard/internal/switchsim"
 )
@@ -77,14 +90,92 @@ type Config struct {
 	// vectors (0 benign, 1 malicious) used to select (k, T) by macro F1
 	// — the paper's §4.1 methodology, where validation sets carry 20%
 	// attack traffic. Without them the benign-only fidelity heuristic
-	// selects k at a fixed threshold.
-	ValidationX [][]float64
-	ValidationY []int
+	// selects k at a fixed threshold. Training-time only: not part of
+	// the saved model (format 2).
+	ValidationX [][]float64 `json:"-"`
+	ValidationY []int       `json:"-"`
 
 	// QuantBits is the per-feature fixed-point width rules compile to.
 	QuantBits int
 	// MaxRuleCells caps hypercube enumeration during rule generation.
 	MaxRuleCells int
+
+	// Parallelism bounds the training worker pool (0 = GOMAXPROCS).
+	// It fans out across the three independent layers of training —
+	// grid-search candidates, ensemble members, and forest trees — and
+	// never changes the trained model: every unit derives its own
+	// random stream from (Seed, unit index), and results reduce in
+	// index order, so the saved model is byte-identical for every
+	// value. Runtime-only: not part of the saved model.
+	Parallelism int `json:"-"`
+}
+
+// Validate reports every rejectable Config field at once, joined into
+// a single descriptive error (errors.Is/As see the individual
+// failures). Train and TrainContext call it before touching any data,
+// so misconfiguration fails fast instead of panicking deep inside the
+// pipeline. A nil return means the configuration is trainable.
+func (c Config) Validate() error {
+	var errs []error
+	add := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf("iguard: config: "+format, args...))
+	}
+	if c.FlowThreshold <= 0 {
+		add("FlowThreshold must be positive, got %d", c.FlowThreshold)
+	}
+	if c.FlowTimeout <= 0 {
+		add("FlowTimeout must be positive, got %v", c.FlowTimeout)
+	}
+	if c.AEEpochs <= 0 {
+		add("AEEpochs must be positive, got %d", c.AEEpochs)
+	}
+	if c.AEBatch <= 0 {
+		add("AEBatch must be positive, got %d", c.AEBatch)
+	}
+	if c.AELearningRate <= 0 {
+		add("AELearningRate must be positive, got %v", c.AELearningRate)
+	}
+	if c.CalibrationQuantile <= 0 || c.CalibrationQuantile > 1 {
+		add("CalibrationQuantile must be in (0, 1], got %v", c.CalibrationQuantile)
+	}
+	for i, k := range c.AugmentGrid {
+		if k < 0 {
+			add("AugmentGrid[%d] must be non-negative, got %d", i, k)
+		}
+	}
+	for i, q := range c.ThresholdGrid {
+		if q <= 0 || q > 1 {
+			add("ThresholdGrid[%d] must be in (0, 1], got %v", i, q)
+		}
+	}
+	if len(c.ValidationX) != len(c.ValidationY) {
+		add("ValidationX/ValidationY length mismatch: %d vs %d", len(c.ValidationX), len(c.ValidationY))
+	}
+	for i, y := range c.ValidationY {
+		if y != 0 && y != 1 {
+			add("ValidationY[%d] must be 0 or 1, got %d", i, y)
+			break
+		}
+	}
+	for i, x := range c.ValidationX {
+		if len(x) != features.FLDim {
+			add("ValidationX[%d] has %d dims, want %d", i, len(x), features.FLDim)
+			break
+		}
+	}
+	if c.QuantBits < 1 || c.QuantBits > 32 {
+		add("QuantBits must be in [1, 32], got %d", c.QuantBits)
+	}
+	if c.MaxRuleCells <= 0 {
+		add("MaxRuleCells must be positive, got %d", c.MaxRuleCells)
+	}
+	if c.Parallelism < 0 {
+		add("Parallelism must be non-negative (0 = GOMAXPROCS), got %d", c.Parallelism)
+	}
+	if err := c.Forest.Validate(); err != nil {
+		errs = append(errs, fmt.Errorf("iguard: config: Forest: %w", err))
+	}
+	return errors.Join(errs...)
 }
 
 // DefaultConfig returns a configuration matching the evaluation's
@@ -130,8 +221,21 @@ type Detector struct {
 }
 
 // Train builds the full iGuard pipeline from benign training packets.
-// It returns an error when the trace yields no flows.
+// It returns an error when the configuration is invalid or the trace
+// yields no flows.
 func Train(benign []Packet, cfg Config) (*Detector, error) {
+	return TrainContext(context.Background(), benign, cfg)
+}
+
+// TrainContext is Train with cooperative cancellation: training checks
+// ctx between pipeline stages, between autoencoder epochs, and between
+// parallel grid-search/tree units, returning ctx.Err() promptly when
+// cancelled. cfg.Parallelism bounds the worker pool; the result is
+// identical for every worker count.
+func TrainContext(ctx context.Context, benign []Packet, cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	samples := features.ExtractAll(benign, cfg.FlowThreshold, cfg.FlowTimeout)
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("iguard: no flows extracted from %d packets", len(benign))
@@ -140,18 +244,30 @@ func Train(benign []Packet, cfg Config) (*Detector, error) {
 	for i, s := range samples {
 		raw[i] = s.FL
 	}
-	return TrainOnFeatures(raw, cfg)
+	return TrainOnFeaturesContext(ctx, raw, cfg)
 }
 
 // TrainOnFeatures builds the pipeline directly from raw (unscaled)
 // 13-dimensional flow-feature vectors, for callers with their own
 // extraction.
 func TrainOnFeatures(raw [][]float64, cfg Config) (*Detector, error) {
+	return TrainOnFeaturesContext(context.Background(), raw, cfg)
+}
+
+// TrainOnFeaturesContext is TrainOnFeatures with cooperative
+// cancellation and bounded parallelism; see TrainContext.
+func TrainOnFeaturesContext(ctx context.Context, raw [][]float64, cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if len(raw) == 0 {
 		return nil, fmt.Errorf("iguard: empty training set")
 	}
 	if len(raw[0]) != features.FLDim {
 		return nil, fmt.Errorf("iguard: feature vectors have %d dims, want %d", len(raw[0]), features.FLDim)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	d := &Detector{cfg: cfg}
 	d.prep = features.NewFLPreprocess()
@@ -164,26 +280,32 @@ func TrainOnFeatures(raw [][]float64, cfg Config) (*Detector, error) {
 	)
 	d.ensemble.Members[0].Weight = 0.6
 	d.ensemble.Members[1].Weight = 0.4
-	d.ensemble.Fit(trainX, autoencoder.TrainOptions{
+	if err := d.ensemble.FitContext(ctx, trainX, autoencoder.TrainOptions{
 		Epochs: cfg.AEEpochs, BatchSize: cfg.AEBatch, LR: cfg.AELearningRate,
-		Rand: mathx.NewRand(cfg.Seed + 1),
-	})
+		Rand: mathx.NewRand(cfg.Seed + 1), Parallelism: cfg.Parallelism,
+	}); err != nil {
+		return nil, err
+	}
 	forestOpts := cfg.Forest
 	forestOpts.Seed = cfg.Seed + 2
+	forestOpts.Parallelism = cfg.Parallelism
 	forestOpts.Bounds = rules.FullBox(features.FLDim, ruleUniverseLo, ruleUniverseHi)
 	kGrid := cfg.AugmentGrid
 	if len(kGrid) == 0 {
 		kGrid = []int{forestOpts.Augment}
 	}
 	if len(cfg.ValidationX) > 0 {
-		if err := d.selectByValidation(trainX, forestOpts, kGrid, cfg); err != nil {
+		if err := d.selectByValidation(ctx, trainX, forestOpts, kGrid, cfg); err != nil {
 			return nil, err
 		}
 	} else {
 		d.ensemble.Calibrate(trainX, cfg.CalibrationQuantile)
-		if err := d.selectByFidelity(trainX, forestOpts, kGrid, cfg); err != nil {
+		if err := d.selectByFidelity(ctx, trainX, forestOpts, kGrid, cfg); err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	universe := rules.FullBox(features.FLDim, ruleUniverseLo, ruleUniverseHi)
@@ -202,11 +324,14 @@ func TrainOnFeatures(raw [][]float64, cfg Config) (*Detector, error) {
 }
 
 // selectByValidation grid-searches (k, T) by macro F1 on the labelled
-// validation set — the paper's §4.1 footnote-10 methodology.
-func (d *Detector) selectByValidation(trainX [][]float64, forestOpts core.Options, kGrid []int, cfg Config) error {
-	if len(cfg.ValidationX) != len(cfg.ValidationY) {
-		return fmt.Errorf("iguard: validation X/Y length mismatch")
-	}
+// validation set — the paper's §4.1 footnote-10 methodology. All
+// |tGrid| × |kGrid| candidates are independent and train concurrently:
+// each takes a read-only calibrated view of the ensemble (thresholds
+// precomputed from one shared sorted error slice per member) instead
+// of re-calibrating the live ensemble in place. Results land in
+// index-addressed slots and the argmax breaks ties by grid position,
+// exactly as the serial t-outer/k-inner loop did.
+func (d *Detector) selectByValidation(ctx context.Context, trainX [][]float64, forestOpts core.Options, kGrid []int, cfg Config) error {
 	valX := make([][]float64, len(cfg.ValidationX))
 	for i, raw := range cfg.ValidationX {
 		valX[i] = d.prep.Transform(raw)
@@ -215,55 +340,94 @@ func (d *Detector) selectByValidation(trainX [][]float64, forestOpts core.Option
 	if len(tGrid) == 0 {
 		tGrid = []float64{cfg.CalibrationQuantile}
 	}
-	bestF1 := -1.0
-	bestQ := tGrid[0]
-	for _, q := range tGrid {
-		d.ensemble.Calibrate(trainX, q)
-		for _, k := range kGrid {
-			opts := forestOpts
-			opts.Augment = k
-			candidate, err := core.Fit(trainX, d.ensemble, opts)
-			if err != nil {
-				return err
-			}
-			var conf metrics.Confusion
-			for i, x := range valX {
-				conf.Add(candidate.Predict(x), cfg.ValidationY[i])
-			}
-			if f1 := conf.MacroF1(); f1 > bestF1 {
-				bestF1 = f1
-				bestQ = q
-				d.forest = candidate
-			}
+	memberErrs := d.ensemble.MemberErrors(trainX)
+	for _, errs := range memberErrs {
+		sort.Float64s(errs)
+	}
+	thresholds := make([][]float64, len(tGrid))
+	for qi, q := range tGrid {
+		ths := make([]float64, len(memberErrs))
+		for mi, errs := range memberErrs {
+			ths[mi] = mathx.QuantileSorted(errs, q)
+		}
+		thresholds[qi] = ths
+	}
+	type candidate struct {
+		forest *core.Forest
+		f1     float64
+	}
+	cands := make([]candidate, len(tGrid)*len(kGrid))
+	err := parallel.For(ctx, cfg.Parallelism, len(cands), func(i int) error {
+		qi, ki := i/len(kGrid), i%len(kGrid)
+		guide := d.ensemble.WithThresholds(thresholds[qi])
+		opts := forestOpts
+		opts.Augment = kGrid[ki]
+		forest, err := core.FitContext(ctx, trainX, guide, opts)
+		if err != nil {
+			return err
+		}
+		var conf metrics.Confusion
+		for vi, x := range valX {
+			conf.Add(forest.Predict(x), cfg.ValidationY[vi])
+		}
+		cands[i] = candidate{forest: forest, f1: conf.MacroF1()}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	best := 0
+	for i := range cands {
+		if cands[i].f1 > cands[best].f1 {
+			best = i
 		}
 	}
-	d.ensemble.Calibrate(trainX, bestQ)
+	d.forest = cands[best].forest
+	// Leave the ensemble calibrated at the winning quantile so guide
+	// predictions stay consistent with the selected forest.
+	d.ensemble.SetThresholds(thresholds[best/len(kGrid)])
 	return nil
 }
 
 // selectByFidelity picks k by agreement with the ensemble on benign
-// holdout plus synthetic probes (the benign-only fallback).
-func (d *Detector) selectByFidelity(trainX [][]float64, forestOpts core.Options, kGrid []int, cfg Config) error {
+// holdout plus synthetic probes (the benign-only fallback). The
+// ensemble's probe labels are computed once; the k candidates train
+// concurrently and the argmax breaks ties by grid position.
+func (d *Detector) selectByFidelity(ctx context.Context, trainX [][]float64, forestOpts core.Options, kGrid []int, cfg Config) error {
 	probes := guideProbes(trainX, cfg.Seed+3)
-	bestFidelity := -1.0
-	for _, k := range kGrid {
+	want := make([]int, len(probes))
+	for i, p := range probes {
+		want[i] = d.ensemble.Predict(p)
+	}
+	forests := make([]*core.Forest, len(kGrid))
+	fidelities := make([]float64, len(kGrid))
+	err := parallel.For(ctx, cfg.Parallelism, len(kGrid), func(i int) error {
 		opts := forestOpts
-		opts.Augment = k
-		candidate, err := core.Fit(trainX, d.ensemble, opts)
+		opts.Augment = kGrid[i]
+		forest, err := core.FitContext(ctx, trainX, d.ensemble, opts)
 		if err != nil {
 			return err
 		}
 		agree := 0
-		for _, p := range probes {
-			if candidate.Predict(p) == d.ensemble.Predict(p) {
+		for pi, p := range probes {
+			if forest.Predict(p) == want[pi] {
 				agree++
 			}
 		}
-		if f := float64(agree) / float64(len(probes)); f > bestFidelity {
-			bestFidelity = f
-			d.forest = candidate
+		forests[i] = forest
+		fidelities[i] = float64(agree) / float64(len(probes))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	best := 0
+	for i := range fidelities {
+		if fidelities[i] > fidelities[best] {
+			best = i
 		}
 	}
+	d.forest = forests[best]
 	return nil
 }
 
@@ -357,13 +521,18 @@ func (d *Detector) CompiledRules() *rules.CompiledRuleSet { return d.compiled }
 func (d *Detector) WriteRules(w io.Writer) error { return d.ruleSet.WriteJSON(w) }
 
 // Consistency measures §3.2.3's rule-fidelity metric C over raw flow
-// vectors.
+// vectors. A loaded (rule-only) detector has no forest to compare
+// against — the rules ARE the model — so it returns 1.0, the rule
+// set's self-consistency, instead of panicking.
 func (d *Detector) Consistency(raw [][]float64) float64 {
+	if d.forest == nil {
+		return 1.0
+	}
 	model := d.prep.TransformAll(raw)
 	return rules.Consistency(d.ruleSet, d.forest.Predict, model)
 }
 
-// DeployConfig parameterises Deploy.
+// DeployConfig parameterises NewDeployment.
 type DeployConfig struct {
 	// Slots is the per-hash-table flow-state capacity.
 	Slots int
@@ -381,9 +550,36 @@ func DefaultDeployConfig() DeployConfig {
 	return DeployConfig{Slots: 8192, BlacklistCapacity: 8192, Eviction: controller.LRU, DropMalicious: true}
 }
 
-// Deploy installs the detector's whitelist on a simulated switch wired
-// to a fresh controller, both ready to process packets.
-func (d *Detector) Deploy(cfg DeployConfig) (*switchsim.Switch, *controller.Controller) {
+// Deployment is a running data-plane/control-plane pair: the
+// detector's whitelist installed on a simulated switch whose digest
+// stream feeds a fresh controller. Drive traffic through
+// Switch.ProcessPacket; inspect progress with Stats; detach the
+// control loop with Close.
+type Deployment struct {
+	// Switch is the simulated programmable data plane.
+	Switch *switchsim.Switch
+	// Controller is the control-plane agent consuming the switch's
+	// digests and managing the blacklist.
+	Controller *controller.Controller
+	closed     bool
+}
+
+// DeploymentStats is a point-in-time snapshot across both planes.
+type DeploymentStats struct {
+	// Controller aggregates the control-plane counters (digests,
+	// installs, evictions).
+	Controller controller.Stats
+	// Usage is the data plane's hardware-resource footprint.
+	Usage switchsim.Usage
+	// ActiveFlows counts flow-state entries currently tracked.
+	ActiveFlows int
+	// BlacklistLen is the number of installed blacklist entries.
+	BlacklistLen int
+}
+
+// NewDeployment installs the detector's whitelist on a simulated
+// switch wired to a fresh controller, both ready to process packets.
+func (d *Detector) NewDeployment(cfg DeployConfig) *Deployment {
 	sw := switchsim.New(switchsim.Config{
 		Slots:             cfg.Slots,
 		PktThreshold:      d.cfg.FlowThreshold,
@@ -394,5 +590,38 @@ func (d *Detector) Deploy(cfg DeployConfig) (*switchsim.Switch, *controller.Cont
 	})
 	ctrl := controller.New(sw, cfg.BlacklistCapacity, cfg.Eviction)
 	sw.SetSink(ctrl)
-	return sw, ctrl
+	return &Deployment{Switch: sw, Controller: ctrl}
+}
+
+// Stats snapshots counters from both planes.
+func (dep *Deployment) Stats() DeploymentStats {
+	return DeploymentStats{
+		Controller:   dep.Controller.Stats(),
+		Usage:        dep.Switch.Usage(),
+		ActiveFlows:  dep.Switch.ActiveFlows(),
+		BlacklistLen: dep.Switch.BlacklistLen(),
+	}
+}
+
+// Close detaches the controller from the switch's digest stream; the
+// switch keeps forwarding with whatever blacklist is installed, but no
+// new control-plane actions occur. Idempotent, always returns nil (the
+// error return anticipates deployments backed by real transports).
+func (dep *Deployment) Close() error {
+	if dep.closed {
+		return nil
+	}
+	dep.closed = true
+	dep.Switch.SetSink(nil)
+	return nil
+}
+
+// Deploy installs the detector's whitelist on a simulated switch wired
+// to a fresh controller, both ready to process packets.
+//
+// Deprecated: use NewDeployment, which returns a *Deployment carrying
+// the same pair plus Close and Stats.
+func (d *Detector) Deploy(cfg DeployConfig) (*switchsim.Switch, *controller.Controller) {
+	dep := d.NewDeployment(cfg)
+	return dep.Switch, dep.Controller
 }

@@ -167,7 +167,9 @@ func TestWriteRules(t *testing.T) {
 
 func TestDeployEndToEnd(t *testing.T) {
 	det := trainTiny(t)
-	sw, ctrl := det.Deploy(DefaultDeployConfig())
+	dep := det.NewDeployment(DefaultDeployConfig())
+	defer dep.Close()
+	sw := dep.Switch
 
 	attack := traffic.MustGenerateAttack(traffic.UDPDDoS, 8, 8)
 	trace := traffic.GenerateBenign(9, 50).Merge(attack)
@@ -180,11 +182,56 @@ func TestDeployEndToEnd(t *testing.T) {
 	if drops == 0 {
 		t.Error("flood not mitigated at all")
 	}
-	if ctrl.Stats().DigestsReceived == 0 {
+	st := dep.Stats()
+	if st.Controller.DigestsReceived == 0 {
 		t.Error("controller received no digests")
+	}
+	if st.BlacklistLen == 0 {
+		t.Error("no blacklist entries installed")
+	}
+	if st.Usage.SRAMBits == 0 || st.Usage.TCAMBits == 0 {
+		t.Errorf("resource usage not accounted: %+v", st.Usage)
 	}
 	if sw.Counters.PathCounts[switchsim.PathBlue] == 0 {
 		t.Error("no flows classified")
+	}
+}
+
+// TestDeployDeprecatedWrapper pins the legacy tuple signature to the
+// same pair NewDeployment builds.
+func TestDeployDeprecatedWrapper(t *testing.T) {
+	det := trainTiny(t)
+	sw, ctrl := det.Deploy(DefaultDeployConfig())
+	if sw == nil || ctrl == nil {
+		t.Fatal("Deploy returned nil components")
+	}
+	benign := traffic.GenerateBenign(9, 10)
+	for i := range benign.Packets {
+		sw.ProcessPacket(&benign.Packets[i])
+	}
+	if sw.ActiveFlows() == 0 {
+		t.Error("wrapper switch is not wired up")
+	}
+}
+
+func TestDeploymentCloseDetachesController(t *testing.T) {
+	det := trainTiny(t)
+	dep := det.NewDeployment(DefaultDeployConfig())
+	if err := dep.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := dep.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// After Close the digest stream is detached: packets still flow but
+	// the controller sees nothing new.
+	attack := traffic.MustGenerateAttack(traffic.UDPDDoS, 8, 8)
+	trace := traffic.GenerateBenign(9, 30).Merge(attack)
+	for i := range trace.Packets {
+		dep.Switch.ProcessPacket(&trace.Packets[i])
+	}
+	if got := dep.Stats().Controller.DigestsReceived; got != 0 {
+		t.Errorf("controller received %d digests after Close", got)
 	}
 }
 

@@ -1,0 +1,239 @@
+package iguard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"iguard/internal/features"
+	"iguard/internal/traffic"
+)
+
+// tinyFeatures extracts the tiny benign training matrix once per test.
+func tinyFeatures(t testing.TB, cfg Config) [][]float64 {
+	t.Helper()
+	var raw [][]float64
+	for _, s := range features.ExtractAll(traffic.GenerateBenign(1, 150).Packets, cfg.FlowThreshold, cfg.FlowTimeout) {
+		raw = append(raw, s.FL)
+	}
+	if len(raw) == 0 {
+		t.Fatal("no training flows")
+	}
+	return raw
+}
+
+// saveBytes trains on raw with the given config and returns the exact
+// Save output.
+func saveBytes(t *testing.T, raw [][]float64, cfg Config) []byte {
+	t.Helper()
+	det, err := TrainOnFeatures(raw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTrainDeterminismAcrossParallelism pins the tentpole guarantee:
+// the saved model is byte-identical for every worker count, down both
+// selection paths (benign-only fidelity and labelled validation).
+func TestTrainDeterminismAcrossParallelism(t *testing.T) {
+	base := tinyConfig()
+	raw := tinyFeatures(t, base)
+
+	withVal := base
+	withVal.AugmentGrid = []int{0, 4}
+	withVal.ThresholdGrid = []float64{0.88, 0.92}
+	for _, s := range features.ExtractAll(traffic.GenerateBenign(20, 40).Packets, base.FlowThreshold, base.FlowTimeout) {
+		withVal.ValidationX = append(withVal.ValidationX, s.FL)
+		withVal.ValidationY = append(withVal.ValidationY, 0)
+	}
+	for _, s := range features.ExtractAll(traffic.MustGenerateAttack(traffic.UDPDDoS, 21, 5).Packets, base.FlowThreshold, base.FlowTimeout) {
+		withVal.ValidationX = append(withVal.ValidationX, s.FL)
+		withVal.ValidationY = append(withVal.ValidationY, 1)
+	}
+
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"fidelity", base},
+		{"validation", withVal},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Parallelism = 1
+			want := saveBytes(t, raw, cfg)
+			for _, p := range []int{2, 8} {
+				cfg.Parallelism = p
+				if got := saveBytes(t, raw, cfg); !bytes.Equal(got, want) {
+					t.Errorf("Parallelism=%d saved model differs from Parallelism=1", p)
+				}
+			}
+		})
+	}
+}
+
+func TestTrainContextCancelled(t *testing.T) {
+	cfg := tinyConfig()
+	raw := tinyFeatures(t, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TrainOnFeaturesContext(ctx, raw, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("TrainOnFeaturesContext error = %v, want context.Canceled", err)
+	}
+	if _, err := TrainContext(ctx, traffic.GenerateBenign(1, 80).Packets, cfg); !errors.Is(err, context.Canceled) {
+		t.Errorf("TrainContext error = %v, want context.Canceled", err)
+	}
+}
+
+// TestTrainContextCancelMidTraining cancels while the autoencoder fit
+// is in flight and expects a prompt cooperative stop.
+func TestTrainContextCancelMidTraining(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.AEEpochs = 10000 // long enough that cancellation lands mid-fit
+	raw := tinyFeatures(t, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := TrainOnFeaturesContext(ctx, raw, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantSub string
+	}{
+		{"flow threshold", func(c *Config) { c.FlowThreshold = 0 }, "FlowThreshold"},
+		{"flow timeout", func(c *Config) { c.FlowTimeout = 0 }, "FlowTimeout"},
+		{"epochs", func(c *Config) { c.AEEpochs = -1 }, "AEEpochs"},
+		{"batch", func(c *Config) { c.AEBatch = 0 }, "AEBatch"},
+		{"lr", func(c *Config) { c.AELearningRate = 0 }, "AELearningRate"},
+		{"calibration quantile", func(c *Config) { c.CalibrationQuantile = 1.5 }, "CalibrationQuantile"},
+		{"augment grid", func(c *Config) { c.AugmentGrid = []int{0, -3} }, "AugmentGrid[1]"},
+		{"threshold grid", func(c *Config) { c.ThresholdGrid = []float64{0.9, 0} }, "ThresholdGrid[1]"},
+		{"validation length", func(c *Config) {
+			c.ValidationX = [][]float64{make([]float64, features.FLDim)}
+			c.ValidationY = []int{0, 1}
+		}, "length mismatch"},
+		{"validation label", func(c *Config) {
+			c.ValidationX = [][]float64{make([]float64, features.FLDim)}
+			c.ValidationY = []int{2}
+		}, "ValidationY[0]"},
+		{"validation dims", func(c *Config) {
+			c.ValidationX = [][]float64{{1, 2}}
+			c.ValidationY = []int{0}
+		}, "ValidationX[0]"},
+		{"quant bits", func(c *Config) { c.QuantBits = 40 }, "QuantBits"},
+		{"rule cells", func(c *Config) { c.MaxRuleCells = 0 }, "MaxRuleCells"},
+		{"parallelism", func(c *Config) { c.Parallelism = -1 }, "Parallelism"},
+		{"forest", func(c *Config) { c.Forest.Trees = 0 }, "Forest"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+			// Invalid configs must be rejected before training starts.
+			if _, terr := Train(traffic.GenerateBenign(1, 20).Packets, cfg); terr == nil {
+				t.Error("Train accepted an invalid config")
+			}
+		})
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("DefaultConfig should validate, got %v", err)
+	}
+	// Multiple broken fields surface together in one joined error.
+	bad := DefaultConfig()
+	bad.FlowThreshold = 0
+	bad.QuantBits = 0
+	err := bad.Validate()
+	if err == nil || !strings.Contains(err.Error(), "FlowThreshold") || !strings.Contains(err.Error(), "QuantBits") {
+		t.Errorf("joined error missing a field: %v", err)
+	}
+}
+
+// TestConsistencyRuleOnlyModel pins the nil-forest fix: a loaded
+// rule-only model IS its rule set, so consistency with itself is 1.0
+// (this used to panic).
+func TestConsistencyRuleOnlyModel(t *testing.T) {
+	det := trainTiny(t)
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m savedModel
+	if err := jsonUnmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	m.Forest = nil
+	b, _ := jsonMarshal(m)
+	old, err := Load(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raws [][]float64
+	for _, s := range features.ExtractAll(traffic.GenerateBenign(5, 30).Packets, 4, DefaultConfig().FlowTimeout) {
+		raws = append(raws, s.FL)
+	}
+	if c := old.Consistency(raws); c != 1.0 {
+		t.Errorf("rule-only consistency = %v, want 1.0", c)
+	}
+}
+
+func TestModelFormatVersioning(t *testing.T) {
+	det := trainTiny(t)
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"format": 2`)) {
+		t.Error("Save output missing format 2 marker")
+	}
+
+	var m map[string]interface{}
+	if err := jsonUnmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+
+	// A format-1 model (no "format" field) still loads.
+	delete(m, "format")
+	legacy, _ := jsonMarshal(m)
+	if _, err := Load(bytes.NewReader(legacy)); err != nil {
+		t.Errorf("format-less (v1) model failed to load: %v", err)
+	}
+
+	// A newer format is refused with a descriptive error, not misread.
+	m["format"] = 99
+	future, _ := jsonMarshal(m)
+	_, err := Load(bytes.NewReader(future))
+	if err == nil {
+		t.Fatal("want error for unknown format")
+	}
+	if !strings.Contains(err.Error(), "format 99") {
+		t.Errorf("error %q does not name the offending format", err)
+	}
+}

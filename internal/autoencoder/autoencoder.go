@@ -15,11 +15,13 @@
 package autoencoder
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"iguard/internal/mathx"
 	"iguard/internal/nn"
+	"iguard/internal/parallel"
 )
 
 // Model is a trainable reconstruction model producing per-sample
@@ -39,6 +41,15 @@ type TrainOptions struct {
 	BatchSize int
 	LR        float64
 	Rand      *rand.Rand
+	// Parallelism bounds the worker count when ensemble members train
+	// concurrently (0 selects GOMAXPROCS). Member results are identical
+	// for every value: each member's seed is drawn from Rand up front,
+	// in member order, before any training starts.
+	Parallelism int
+	// Stop, when non-nil, is probed between epochs of every member;
+	// a true return abandons the remaining epochs (used for context
+	// cancellation).
+	Stop func() bool
 }
 
 func (o TrainOptions) withDefaults() TrainOptions {
@@ -95,7 +106,7 @@ func (d *Dense) Name() string { return d.name }
 // Fit implements Model.
 func (d *Dense) Fit(x [][]float64, opts TrainOptions) {
 	opts = opts.withDefaults()
-	d.net.Fit(x, x, nn.FitOptions{Epochs: opts.Epochs, BatchSize: opts.BatchSize, Rand: opts.Rand})
+	d.net.Fit(x, x, nn.FitOptions{Epochs: opts.Epochs, BatchSize: opts.BatchSize, Rand: opts.Rand, Stop: opts.Stop})
 }
 
 // Reconstruct returns the autoencoder output for x.
@@ -146,14 +157,43 @@ func NewEnsemble(models ...Model) *Ensemble {
 
 // Fit trains every member independently on the benign training set, as
 // the paper prescribes, deriving per-member seeds from opts.Rand so the
-// members do not share a random stream.
+// members do not share a random stream. Members train concurrently
+// under opts.Parallelism; seeds are drawn serially in member order
+// first, so results are byte-identical for every worker count (and to
+// the historical serial trainer).
 func (e *Ensemble) Fit(x [][]float64, opts TrainOptions) {
 	opts = opts.withDefaults()
+	memberOpts := make([]TrainOptions, len(e.Members))
 	for i := range e.Members {
-		memberOpts := opts
-		memberOpts.Rand = mathx.NewRand(opts.Rand.Int63())
-		e.Members[i].Model.Fit(x, memberOpts)
+		memberOpts[i] = opts
+		memberOpts[i].Rand = mathx.NewRand(opts.Rand.Int63())
 	}
+	parallel.Do(opts.Parallelism, len(e.Members), func(i int) {
+		e.Members[i].Model.Fit(x, memberOpts[i])
+	})
+}
+
+// FitContext is Fit with cooperative cancellation: members abandon
+// their remaining epochs once ctx is done and FitContext returns
+// ctx.Err(). A nil error means every member trained to completion.
+func (e *Ensemble) FitContext(ctx context.Context, x [][]float64, opts TrainOptions) error {
+	opts.Stop = func() bool { return ctx.Err() != nil }
+	e.Fit(x, opts)
+	return ctx.Err()
+}
+
+// MemberErrors returns every member's reconstruction errors over x
+// (outer index: member, matching Members order).
+func (e *Ensemble) MemberErrors(x [][]float64) [][]float64 {
+	out := make([][]float64, len(e.Members))
+	for i := range e.Members {
+		res := make([]float64, len(x))
+		for j, v := range x {
+			res[j] = e.Members[i].Model.ReconstructionError(v)
+		}
+		out[i] = res
+	}
+	return out
 }
 
 // Calibrate sets each member's RMSE threshold T_u to the given quantile
@@ -161,13 +201,38 @@ func (e *Ensemble) Fit(x [][]float64, opts TrainOptions) {
 // grid-searches T; a high benign quantile (e.g. 0.95) is the standard
 // operating point.
 func (e *Ensemble) Calibrate(benign [][]float64, quantile float64) {
-	for i := range e.Members {
-		res := make([]float64, len(benign))
-		for j, x := range benign {
-			res[j] = e.Members[i].Model.ReconstructionError(x)
-		}
+	for i, res := range e.MemberErrors(benign) {
 		e.Members[i].Threshold = mathx.Quantile(res, quantile)
 	}
+}
+
+// SetThresholds installs per-member RMSE thresholds (same order as
+// Members) — the direct form of Calibrate for callers that computed
+// quantiles themselves, e.g. from a shared sorted error slice.
+func (e *Ensemble) SetThresholds(ths []float64) {
+	if len(ths) != len(e.Members) {
+		panic(fmt.Sprintf("autoencoder: %d thresholds for %d members", len(ths), len(e.Members)))
+	}
+	for i := range e.Members {
+		e.Members[i].Threshold = ths[i]
+	}
+}
+
+// WithThresholds returns a calibrated shallow copy of the ensemble:
+// the trained models are shared (inference on them is stateless and
+// race-free), while weights and thresholds are copied. Grid-search
+// candidates evaluating different calibration quantiles concurrently
+// each take their own view instead of re-calibrating the shared
+// ensemble in place.
+func (e *Ensemble) WithThresholds(ths []float64) *Ensemble {
+	if len(ths) != len(e.Members) {
+		panic(fmt.Sprintf("autoencoder: %d thresholds for %d members", len(ths), len(e.Members)))
+	}
+	view := &Ensemble{Members: append([]Member(nil), e.Members...)}
+	for i := range view.Members {
+		view.Members[i].Threshold = ths[i]
+	}
+	return view
 }
 
 // Vote returns Σ_u w_u · 1{RE_u(x) > T_u}, the ensemble's weighted vote

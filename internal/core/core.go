@@ -7,12 +7,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
 	"iguard/internal/mathx"
+	"iguard/internal/parallel"
 	"iguard/internal/rules"
 )
 
@@ -72,6 +74,13 @@ type Options struct {
 	// while keeping augmentation, stopping, distillation and pruning —
 	// the ablation isolating §3.2.1's contribution from §3.2.2's.
 	RandomSplits bool
+	// Parallelism bounds the worker count for per-tree growth and
+	// distillation (0 selects GOMAXPROCS). Every tree derives its own
+	// random stream from (Seed, tree index) via mathx.DeriveSeed, so
+	// the trained forest is byte-identical for every value — the knob
+	// only changes wall-clock time. Runtime-only: excluded from the
+	// serialised forest so saved models do not depend on it.
+	Parallelism int `json:"-"`
 }
 
 // DefaultOptions mirrors the paper's operating point (t and Ψ are grid
@@ -87,7 +96,10 @@ func DefaultOptions() Options {
 	}
 }
 
-func (o Options) validate() error {
+// Validate reports the first invalid field, or nil for a usable
+// configuration. Fit calls it; iguard.Config.Validate folds it into
+// the public pre-flight check.
+func (o Options) Validate() error {
 	if o.Trees <= 0 {
 		return fmt.Errorf("core: Trees must be positive, got %d", o.Trees)
 	}
@@ -102,6 +114,9 @@ func (o Options) validate() error {
 	}
 	if o.TauSplit < 0 || o.TauSplit > 1 {
 		return fmt.Errorf("core: TauSplit must be in [0,1], got %v", o.TauSplit)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("core: Parallelism must be non-negative (0 = GOMAXPROCS), got %d", o.Parallelism)
 	}
 	return nil
 }
@@ -136,19 +151,51 @@ type Forest struct {
 	opts  Options
 }
 
+// Per-phase stream tags for mathx.DeriveSeed: the growth phase draws
+// its per-tree seeds from (Seed, growStream), the distillation phase
+// from (Seed, distillStream), keeping the two phases' random streams
+// disjoint. Within a phase, per-tree seeds are drawn serially in tree
+// order before the parallel fan-out, so every tree owns an independent
+// stream regardless of worker count.
+const (
+	growStream    int64 = 11000 // growth-phase stream tag
+	distillStream int64 = 11001 // distillation-phase stream tag
+)
+
+// phaseSeeds derives n per-unit seeds for one training phase: a single
+// serial pass over a (seed, stream)-keyed generator, indexed by unit.
+func phaseSeeds(seed, stream int64, n int) []int64 {
+	r := mathx.NewRand(mathx.DeriveSeed(seed, stream))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.Int63()
+	}
+	return out
+}
+
 // Fit grows the guided forest on benign training features x using the
 // guide for node-expansion decisions (§3.2.1), then distils leaf labels
 // from the guide (§3.2.2). It returns an error for invalid options or an
 // empty training set.
 func Fit(x [][]float64, guide Guide, opts Options) (*Forest, error) {
-	if err := opts.validate(); err != nil {
+	return FitContext(context.Background(), x, guide, opts)
+}
+
+// FitContext is Fit with cooperative cancellation and bounded
+// parallelism: trees grow and distil concurrently under
+// opts.Parallelism workers, and a cancelled ctx abandons the units not
+// yet started and returns ctx.Err(). Each tree's randomness derives
+// from (opts.Seed, tree index), so the forest is identical for every
+// worker count. The guide must be safe for concurrent read-only use
+// (autoencoder ensembles are: inference is stateless).
+func FitContext(ctx context.Context, x [][]float64, guide Guide, opts Options) (*Forest, error) {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if len(x) == 0 {
 		return nil, fmt.Errorf("core: empty training set")
 	}
 	dim := len(x[0])
-	r := mathx.NewRand(opts.Seed)
 	psi := opts.SubSample
 	if psi > len(x) {
 		psi = len(x)
@@ -157,17 +204,24 @@ func Fit(x [][]float64, guide Guide, opts Options) (*Forest, error) {
 	if maxHeight < 1 {
 		maxHeight = 1
 	}
-	f := &Forest{Dim: dim, opts: opts}
-	for t := 0; t < opts.Trees; t++ {
+	f := &Forest{Dim: dim, opts: opts, Trees: make([]*Tree, opts.Trees)}
+	seeds := phaseSeeds(opts.Seed, growStream, opts.Trees)
+	err := parallel.For(ctx, opts.Parallelism, opts.Trees, func(t int) error {
+		r := mathx.NewRand(seeds[t])
 		idx := mathx.SampleWithoutReplacement(r, len(x), psi)
 		sample := make([][]float64, len(idx))
 		for i, j := range idx {
 			sample[i] = x[j]
 		}
-		tree := growGuidedTree(r, sample, dim, maxHeight, guide, opts)
-		f.Trees = append(f.Trees, tree)
+		f.Trees[t] = growGuidedTree(r, sample, dim, maxHeight, guide, opts)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	f.Distill(x, guide, r)
+	if err := f.Distill(ctx, x, guide); err != nil {
+		return nil, err
+	}
 	f.Prune()
 	return f, nil
 }
@@ -552,12 +606,15 @@ func bestSplit(ls labelledSet, dim, maxPerFeature int) (bestQ int, bestP float64
 // feature range, embed per-member expected reconstruction errors
 // (Eq. 5) and transform them into leaf labels (Eq. 6). Fit calls this
 // automatically; it is exported so callers can re-distil with a
-// different guide.
-func (f *Forest) Distill(xTrain [][]float64, guide Guide, r *rand.Rand) {
-	if r == nil {
-		r = mathx.NewRand(f.opts.Seed + 1)
-	}
-	for _, t := range f.Trees {
+// different guide. Trees distil concurrently under the forest's
+// Parallelism option, each from its own (Seed, tree index)-derived
+// stream; a cancelled ctx abandons remaining trees and returns
+// ctx.Err().
+func (f *Forest) Distill(ctx context.Context, xTrain [][]float64, guide Guide) error {
+	seeds := phaseSeeds(f.opts.Seed, distillStream, len(f.Trees))
+	return parallel.For(ctx, f.opts.Parallelism, len(f.Trees), func(ti int) error {
+		t := f.Trees[ti]
+		r := mathx.NewRand(seeds[ti])
 		// Gather leaf membership.
 		members := map[*node][][]float64{}
 		for _, x := range xTrain {
@@ -598,7 +655,8 @@ func (f *Forest) Distill(xTrain [][]float64, guide Guide, r *rand.Rand) {
 			n.Label = guide.LabelLeafByMeanRE(sums)
 		}
 		walk(t.root)
-	}
+		return nil
+	})
 }
 
 // Prune collapses sibling leaves that received the same distilled label

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestFitParallelismInvariance pins the determinism contract: per-tree
+// seeds are drawn serially before the fan-out, so the fitted (and
+// distilled) forest is byte-identical for every worker count.
+func TestFitParallelismInvariance(t *testing.T) {
+	x := mixedData(41, 400, 3)
+	fit := func(workers int) []byte {
+		opts := DefaultOptions()
+		opts.Trees = 5
+		opts.SubSample = 128
+		opts.Augment = 16
+		opts.Seed = 41
+		opts.Parallelism = workers
+		f, err := Fit(x, oracleGuide{cut: 0.7}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	want := fit(1)
+	for _, p := range []int{2, 4, 8} {
+		if got := fit(p); string(got) != string(want) {
+			t.Errorf("Parallelism=%d produced a different forest", p)
+		}
+	}
+}
+
+func TestFitContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.Trees = 3
+	opts.SubSample = 64
+	opts.Seed = 1
+	if _, err := FitContext(ctx, mixedData(42, 200, 3), oracleGuide{cut: 0.7}, opts); err == nil {
+		t.Error("want error from cancelled context")
+	}
+}

@@ -57,6 +57,11 @@ type LabConfig struct {
 	// thresholds T_u (footnote 10 grid-searches T). Selected jointly
 	// with k by validation macro F1. Empty means CalibQuantile as-is.
 	GridT []float64
+
+	// Parallelism bounds the worker pool for ensemble-member and
+	// per-tree training (0 = GOMAXPROCS). Trained artefacts are
+	// identical for every value.
+	Parallelism int
 }
 
 // DefaultLabConfig returns the configuration cmd/iguard-eval runs with.
@@ -251,7 +256,7 @@ func (l *Lab) buildWith(cfg LabConfig, attack traffic.AttackName, n int) (*Attac
 	ctx.Ensemble.Members[1].Weight = 0.4
 	ctx.Ensemble.Fit(ds.TrainX, autoencoder.TrainOptions{
 		Epochs: cfg.AEEpochs, BatchSize: cfg.AEBatch, LR: cfg.AELR,
-		Rand: mathx.NewRand(cfg.Data.Seed + 1001),
+		Rand: mathx.NewRand(cfg.Data.Seed + 1001), Parallelism: cfg.Parallelism,
 	})
 	benignVal := benignOnly(ds.ValX, ds.ValY)
 
@@ -265,6 +270,7 @@ func (l *Lab) buildWith(cfg LabConfig, attack traffic.AttackName, n int) (*Attac
 	// malicious region is.
 	guardOpts := cfg.GuardOpts
 	guardOpts.Seed = cfg.Data.Seed + 2000
+	guardOpts.Parallelism = cfg.Parallelism
 	guardOpts.Bounds = rules.FullBox(features.FLDim, universeLo, universeHi)
 	kGrid := cfg.GridK
 	if len(kGrid) == 0 {
@@ -307,16 +313,19 @@ func (l *Lab) buildWith(cfg LabConfig, attack traffic.AttackName, n int) (*Attac
 	// 3. Conventional iForests.
 	cpuOpts := cfg.CPUIForestOpts
 	cpuOpts.Seed = cfg.Data.Seed + 3000
+	cpuOpts.Parallelism = cfg.Parallelism
 	ctx.CPUIForest = iforest.Fit(ds.TrainX, cpuOpts)
 	ctx.CPUIForest.CalibrateThreshold(ds.ValX, contaminationOf(ds.ValY, cfg.Contamination))
 
 	swOpts := cfg.SwitchIForestOpts
 	swOpts.Seed = cfg.Data.Seed + 3001
+	swOpts.Parallelism = cfg.Parallelism
 	ctx.SwitchIForest = iforest.Fit(ds.TrainX, swOpts)
 	ctx.SwitchIForest.CalibrateThreshold(ds.ValX, contaminationOf(ds.ValY, cfg.Contamination))
 
 	plOpts := cfg.PLIForestOpts
 	plOpts.Seed = cfg.Data.Seed + 3002
+	plOpts.Parallelism = cfg.Parallelism
 	ctx.PLIForest = iforest.Fit(ds.PLTrainX, plOpts)
 	// PL classification is deliberately conservative: flag only the most
 	// extreme early packets (high threshold quantile).

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"iguard/internal/mathx"
+	"iguard/internal/parallel"
 	"iguard/internal/rules"
 )
 
@@ -32,6 +33,11 @@ type Options struct {
 	Contamination float64
 	// Seed drives all randomness in training.
 	Seed int64
+	// Parallelism bounds the worker count for per-tree growth
+	// (0 selects GOMAXPROCS). Every tree derives its own random stream
+	// from (Seed, tree index), so the forest is identical for every
+	// value; the knob only changes wall-clock time.
+	Parallelism int `json:"-"`
 }
 
 // DefaultOptions returns the classic iForest configuration
@@ -90,29 +96,41 @@ func C(n int) float64 {
 	}
 }
 
-// Fit trains a conventional isolation forest on x.
+// Fit trains a conventional isolation forest on x. Trees grow
+// concurrently under opts.Parallelism workers, each from its own
+// (Seed, tree index)-derived stream, so the forest is identical for
+// every worker count.
 func Fit(x [][]float64, opts Options) *Forest {
 	if len(x) == 0 {
 		panic("iforest: empty training set")
 	}
-	if opts.Trees <= 0 || opts.SubSample <= 0 {
+	if opts.Trees <= 0 || opts.SubSample <= 0 || opts.Parallelism < 0 {
 		panic(fmt.Sprintf("iforest: invalid options %+v", opts))
 	}
 	dim := len(x[0])
-	r := mathx.NewRand(opts.Seed)
 	f := &Forest{SubSample: minInt(opts.SubSample, len(x)), Dim: dim, Threshold: 0.5}
 	maxHeight := int(math.Ceil(math.Log2(float64(f.SubSample))))
 	if maxHeight < 1 {
 		maxHeight = 1
 	}
-	for t := 0; t < opts.Trees; t++ {
+	f.Trees = make([]*Tree, opts.Trees)
+	// Per-tree seeds are drawn serially in tree order before the
+	// parallel fan-out, so every tree owns an independent stream
+	// regardless of worker count.
+	seedr := mathx.NewRand(mathx.DeriveSeed(opts.Seed, 0))
+	seeds := make([]int64, opts.Trees)
+	for t := range seeds {
+		seeds[t] = seedr.Int63()
+	}
+	parallel.Do(opts.Parallelism, opts.Trees, func(t int) {
+		r := mathx.NewRand(seeds[t])
 		idx := mathx.SampleWithoutReplacement(r, len(x), f.SubSample)
 		sample := make([][]float64, len(idx))
 		for i, j := range idx {
 			sample[i] = x[j]
 		}
-		f.Trees = append(f.Trees, growTree(r, sample, dim, maxHeight))
-	}
+		f.Trees[t] = growTree(r, sample, dim, maxHeight)
+	})
 	return f
 }
 

@@ -251,3 +251,34 @@ func TestSubSampleLargerThanData(t *testing.T) {
 		t.Errorf("SubSample = %d, want clamped to 20", f.SubSample)
 	}
 }
+
+// TestFitParallelismInvariance pins that the forest is identical for
+// every worker count: per-tree seeds are drawn serially in tree order
+// before the parallel fan-out.
+func TestFitParallelismInvariance(t *testing.T) {
+	x := cluster(61, 400, 4, 0.5, 0.1)
+	probes := cluster(62, 20, 4, 0.5, 0.4)
+	opts := DefaultOptions()
+	opts.Trees = 20
+	opts.SubSample = 128
+	opts.Seed = 61
+	score := func(workers int) []float64 {
+		o := opts
+		o.Parallelism = workers
+		f := Fit(x, o)
+		out := make([]float64, len(probes))
+		for i, p := range probes {
+			out[i] = f.Score(p)
+		}
+		return out
+	}
+	want := score(1)
+	for _, p := range []int{2, 4, 8} {
+		got := score(p)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Parallelism=%d: score[%d] = %v, want %v", p, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -20,6 +20,19 @@ func NewRand(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
 
+// DeriveSeed derives the seed of an independent random stream from a
+// base seed and a stream index using one splitmix64 mixing round.
+// Parallel training units (trees, ensemble members, grid candidates)
+// each seed their own NewRand from DeriveSeed(base, unit), so every
+// unit's randomness is a pure function of (base seed, unit index) and
+// results cannot depend on scheduling order or worker count.
+func DeriveSeed(seed, stream int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(stream)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -276,3 +276,26 @@ func TestQuantileSortedMatchesQuantile(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDeriveSeed(t *testing.T) {
+	// Deterministic: same (seed, stream) gives the same derived seed.
+	if DeriveSeed(1, 0) != DeriveSeed(1, 0) {
+		t.Error("DeriveSeed not deterministic")
+	}
+	// Distinct streams from one base seed must not collide (the
+	// per-tree / per-member independence the parallel trainers rely on).
+	seen := map[int64]int64{}
+	for _, base := range []int64{0, 1, -1, 42, 1 << 40} {
+		for stream := int64(0); stream < 1000; stream++ {
+			d := DeriveSeed(base, stream)
+			if prev, dup := seen[d]; dup {
+				t.Fatalf("collision: DeriveSeed(%d, %d) == %d (already from stream %d)", base, stream, d, prev)
+			}
+			seen[d] = stream
+		}
+	}
+	// Derived streams should differ from the base seed itself.
+	if DeriveSeed(7, 0) == 7 {
+		t.Error("derived seed equals base seed")
+	}
+}

@@ -3,6 +3,13 @@
 // activations, mean-squared-error loss, and the Adam optimiser. It
 // exists so the autoencoders that guide iGuard's isolation forest can be
 // trained without any dependency outside the Go standard library.
+//
+// Concurrency contract: training (Forward/Backward/TrainBatch/Fit)
+// mutates per-layer caches and optimiser state, so a Network may be
+// trained by at most one goroutine at a time; parallel SGD replicas
+// must each own their own Network. Inference (Apply/Infer/Predict) is
+// stateless and safe for any number of concurrent goroutines on a
+// shared network that is not being trained.
 package nn
 
 import (

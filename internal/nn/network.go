@@ -115,9 +115,11 @@ func NewDense(r *rand.Rand, in, out int, act Activation) *Dense {
 	return d
 }
 
-// Forward computes the layer output for a batch and caches the
-// intermediates needed by Backward.
-func (d *Dense) Forward(x *Matrix) *Matrix {
+// Apply computes the layer output for a batch without touching the
+// cached training state. Because it reads only the (frozen-during-
+// inference) weights and writes only freshly allocated buffers, any
+// number of goroutines may Apply the same layer concurrently.
+func (d *Dense) Apply(x *Matrix) *Matrix {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: dense forward: input has %d features, layer expects %d", x.Cols, d.In))
 	}
@@ -128,6 +130,16 @@ func (d *Dense) Forward(x *Matrix) *Matrix {
 			row[j] = d.Act.apply(row[j] + d.B[j])
 		}
 	}
+	return z
+}
+
+// Forward computes the layer output for a batch and caches the
+// intermediates needed by Backward. Training-path only: the cache is
+// per-layer mutable state, so a network may be trained by at most one
+// goroutine at a time (concurrent SGD replicas must each own their own
+// Network).
+func (d *Dense) Forward(x *Matrix) *Matrix {
+	z := d.Apply(x)
 	d.lastIn = x
 	d.lastOut = z
 	return z
@@ -217,7 +229,9 @@ func NewNetwork(r *rand.Rand, sizes []int, acts []Activation, cfg AdamConfig) *N
 	return net
 }
 
-// Forward runs a batch through every layer.
+// Forward runs a batch through every layer, caching per-layer
+// intermediates for Backward. Training-path only; see Dense.Forward
+// for the single-trainer contract.
 func (n *Network) Forward(x *Matrix) *Matrix {
 	out := x
 	for _, l := range n.Layers {
@@ -226,9 +240,22 @@ func (n *Network) Forward(x *Matrix) *Matrix {
 	return out
 }
 
-// Predict runs a single sample through the network.
+// Infer runs a batch through every layer without touching the training
+// caches; it is safe to call concurrently from any number of
+// goroutines as long as no goroutine is training the network.
+func (n *Network) Infer(x *Matrix) *Matrix {
+	out := x
+	for _, l := range n.Layers {
+		out = l.Apply(out)
+	}
+	return out
+}
+
+// Predict runs a single sample through the network. It uses the
+// stateless inference path, so concurrent Predict calls on a shared
+// trained network are race-free.
 func (n *Network) Predict(x []float64) []float64 {
-	out := n.Forward(FromRows([][]float64{x}))
+	out := n.Infer(FromRows([][]float64{x}))
 	res := make([]float64, out.Cols)
 	copy(res, out.Row(0))
 	return res
@@ -279,6 +306,10 @@ type FitOptions struct {
 	Rand *rand.Rand
 	// Optional per-epoch callback (epoch index, mean loss).
 	OnEpoch func(epoch int, loss float64)
+	// Stop, when non-nil, is probed before every epoch; a true return
+	// abandons the remaining epochs (used for context cancellation —
+	// the caller decides what a partially trained network means).
+	Stop func() bool
 }
 
 // Fit trains the network as an autoencoder-style regressor mapping
@@ -301,8 +332,17 @@ func (n *Network) Fit(x, y [][]float64, opts FitOptions) float64 {
 	for i := range idx {
 		idx[i] = i
 	}
+	// Per-call scratch: batches are assembled into these two reusable
+	// matrices, so steady-state training allocates nothing per batch
+	// and concurrent Fit calls on different networks (parallel SGD
+	// replicas) never share buffers.
+	bx := NewMatrix(opts.BatchSize, len(x[0]))
+	by := NewMatrix(opts.BatchSize, len(y[0]))
 	finalLoss := 0.0
 	for e := 0; e < opts.Epochs; e++ {
+		if opts.Stop != nil && opts.Stop() {
+			break
+		}
 		if opts.Rand != nil {
 			opts.Rand.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		}
@@ -312,13 +352,14 @@ func (n *Network) Fit(x, y [][]float64, opts FitOptions) float64 {
 			if end > len(idx) {
 				end = len(idx)
 			}
-			bx := make([][]float64, 0, end-start)
-			by := make([][]float64, 0, end-start)
-			for _, i := range idx[start:end] {
-				bx = append(bx, x[i])
-				by = append(by, y[i])
+			rows := end - start
+			bxv := &Matrix{Rows: rows, Cols: bx.Cols, Data: bx.Data[:rows*bx.Cols]}
+			byv := &Matrix{Rows: rows, Cols: by.Cols, Data: by.Data[:rows*by.Cols]}
+			for bi, i := range idx[start:end] {
+				copy(bxv.Row(bi), x[i])
+				copy(byv.Row(bi), y[i])
 			}
-			totalLoss += n.TrainBatch(FromRows(bx), FromRows(by))
+			totalLoss += n.TrainBatch(bxv, byv)
 			batches++
 		}
 		finalLoss = totalLoss / float64(batches)

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -309,4 +310,41 @@ func TestGlorotInitBounds(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestConcurrentInference pins that Predict/Infer are read-only on the
+// network: many goroutines scoring a trained net concurrently (the
+// grid-search fan-out sharing one ensemble) must agree with the serial
+// result. Run under -race to catch any state-caching regression.
+func TestConcurrentInference(t *testing.T) {
+	r := mathx.NewRand(51)
+	net := NewNetwork(r, []int{4, 6, 4}, []Activation{Tanh, Identity}, DefaultAdam(0.01))
+	var xs [][]float64
+	for i := 0; i < 64; i++ {
+		a, b := r.Float64(), r.Float64()
+		xs = append(xs, []float64{a, b, a + b, a - b})
+	}
+	net.Fit(xs, xs, FitOptions{Epochs: 5, BatchSize: 16, Rand: r})
+
+	want := make([][]float64, len(xs))
+	for i, x := range xs {
+		want[i] = net.Predict(x)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, x := range xs {
+				got := net.Predict(x)
+				for j := range got {
+					if got[j] != want[i][j] {
+						t.Errorf("concurrent Predict diverged at sample %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

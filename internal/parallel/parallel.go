@@ -1,0 +1,120 @@
+// Package parallel provides the bounded, deterministic fan-out
+// primitive behind every training-time parallelism knob in the
+// repository: grid-search candidates, autoencoder ensemble members,
+// and per-tree forest growth all dispatch through For or Do.
+//
+// Determinism contract: a unit function receives only its index and
+// must write its result into an index-addressed slot (a pre-sized
+// slice element) without reading other units' slots. Any randomness a
+// unit needs must come from its own generator seeded by index (see
+// mathx.DeriveSeed). Under that contract the combined result is
+// byte-identical for every worker count — the budget only changes
+// wall-clock time, never output.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a parallelism knob: values <= 0 select
+// runtime.GOMAXPROCS(0), i.e. one worker per available CPU.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 selects GOMAXPROCS) and returns once every started
+// unit has finished. ctx must be non-nil; when it is cancelled,
+// not-yet-started units are skipped, already-running units complete,
+// and For returns ctx.Err(). Otherwise For returns the error of the
+// lowest-indexed failed unit — the same error a serial loop over the
+// units would have surfaced first — or nil.
+func For(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			errs[i] = fn(i)
+		}
+	} else {
+		var (
+			wg   sync.WaitGroup
+			next atomic.Int64
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= n || ctx.Err() != nil {
+						return
+					}
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Do is For without cancellation or unit errors: it runs fn(i) for
+// every i in [0, n) on at most workers goroutines and returns when all
+// are done. The same index-addressed determinism contract applies.
+func Do(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,115 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(0); w < 1 {
+		t.Errorf("Workers(0) = %d, want >= 1", w)
+	}
+	if w := Workers(-3); w < 1 {
+		t.Errorf("Workers(-3) = %d, want >= 1", w)
+	}
+	if w := Workers(7); w != 7 {
+		t.Errorf("Workers(7) = %d", w)
+	}
+}
+
+func TestForCoversEveryIndexAtEveryWorkerCount(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 2, 8, 200} {
+		got := make([]int, n)
+		err := For(context.Background(), workers, n, func(i int) error {
+			got[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForReturnsLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := For(context.Background(), workers, 10, func(i int) error {
+			switch i {
+			case 3:
+				return errLow
+			case 7:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, errLow)
+		}
+	}
+}
+
+func TestForCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	for _, workers := range []int{1, 4} {
+		err := For(ctx, workers, 1000, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	// A pre-cancelled context must skip (almost) all units: at most one
+	// unit per worker may have raced the cancellation check.
+	if ran.Load() > 8 {
+		t.Errorf("%d units ran under a cancelled context", ran.Load())
+	}
+}
+
+func TestForCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := For(ctx, 2, 1000, func(i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() == 1000 {
+		t.Error("cancellation did not skip any units")
+	}
+}
+
+func TestForZeroUnits(t *testing.T) {
+	if err := For(context.Background(), 4, 0, func(int) error { return errors.New("boom") }); err != nil {
+		t.Errorf("n=0: err = %v", err)
+	}
+}
+
+func TestDoCoversEveryIndex(t *testing.T) {
+	const n = 64
+	for _, workers := range []int{1, 3, 64} {
+		got := make([]int32, n)
+		Do(workers, n, func(i int) { got[i] = 1 })
+		for i, v := range got {
+			if v != 1 {
+				t.Fatalf("workers=%d: slot %d not written", workers, i)
+			}
+		}
+	}
+	Do(4, 0, func(int) { t.Error("unit ran for n=0") })
+}
