@@ -1,6 +1,6 @@
 # Convenience targets for the iGuard reproduction.
 
-.PHONY: build test bench bench-parallel eval eval-quick examples fmt vet lint fix sarif race
+.PHONY: build test bench bench-parallel bench-serve eval eval-quick examples fmt vet lint fix sarif race
 
 build:
 	go build ./...
@@ -16,6 +16,11 @@ bench:
 # byte-identical at every P; only wall-clock changes).
 bench-parallel:
 	go test -bench=BenchmarkTrainParallelism -benchtime=1x -run '^$$' .
+
+# Serving-runtime throughput: single-switch hot path plus end-to-end
+# sharded ingest rate at 1/2/4/8 shards (pps metric per sub-benchmark).
+bench-serve:
+	go test -bench 'BenchmarkProcessPacket|BenchmarkServeThroughput' -benchmem -run '^$$' ./internal/serve
 
 # Full-size evaluation (several minutes).
 eval:

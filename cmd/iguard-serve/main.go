@@ -1,0 +1,210 @@
+// Command iguard-serve runs the sharded streaming detection runtime as
+// a long-lived daemon: packets from a PCAP replay (or a synthetic
+// trace) are hash-partitioned across shard workers, each owning a
+// private switch+controller pair, and per-path/controller statistics
+// are printed on exit.
+//
+// Signals drive the lifecycle: SIGINT/SIGTERM drain the shards and
+// exit cleanly; SIGHUP reloads the model file given via -model and
+// hot-swaps the compiled whitelist into the running shards without a
+// restart.
+//
+// Usage:
+//
+//	iguard-serve -model model.json -replay mixed.pcap -shards 4
+//	iguard-serve -train-synthetic 300 -attack "UDP DDoS" -stats-every 2s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"iguard"
+	"iguard/internal/netpkt"
+	"iguard/internal/serve"
+	"iguard/internal/switchsim"
+	"iguard/internal/traffic"
+)
+
+func main() {
+	var (
+		modelPath  = flag.String("model", "", "detector model JSON written by iguard.(*Detector).Save (reloaded on SIGHUP)")
+		replayPath = flag.String("replay", "", "PCAP trace to stream through the shards")
+		trainSyn   = flag.Int("train-synthetic", 0, "train on this many synthetic benign flows instead of -model")
+		attackName = flag.String("attack", "UDP DDoS", "synthetic attack mixed into the replay when no -replay PCAP is given")
+		attackFl   = flag.Int("attack-flows", 40, "synthetic attack flow count")
+		benignFl   = flag.Int("benign-flows", 200, "synthetic benign replay flow count")
+		seed       = flag.Int64("seed", 7, "synthetic generation seed")
+		shards     = flag.Int("shards", 4, "shard worker count (each owns a private switch+controller)")
+		queue      = flag.Int("queue", 1024, "per-shard mailbox depth")
+		dropPolicy = flag.String("drop-policy", "block", "backpressure policy: block or drop")
+		sweepEvery = flag.Duration("sweep", 5*time.Second, "idle-flow sweep cadence in trace time (0 disables)")
+		statsEvery = flag.Duration("stats-every", 0, "print live aggregate stats at this wall-clock interval (0 disables)")
+	)
+	flag.Parse()
+
+	policy, err := serve.ParseDropPolicy(*dropPolicy)
+	if err != nil {
+		fatal(err)
+	}
+	det := loadOrTrain(*modelPath, *trainSyn, *seed)
+
+	var decisions atomic.Uint64
+	cfg := iguard.DefaultServeConfig()
+	cfg.Shards = *shards
+	cfg.QueueDepth = *queue
+	cfg.Policy = policy
+	cfg.SweepEvery = *sweepEvery
+	cfg.OnDecision = func(int, uint64, *iguard.Packet, switchsim.Decision) {
+		decisions.Add(1)
+	}
+	cfg.Now = time.Now
+	srv, err := det.NewServer(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	src, closer, err := openSource(*replayPath, *seed, *benignFl, *attackName, *attackFl)
+	if err != nil {
+		fatal(err)
+	}
+	defer closer()
+
+	// The supervisor goroutine below is the only caller of Swap, Stats
+	// and Close; the replay goroutine is the single producer. That is
+	// exactly the concurrency contract internal/serve documents.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type replayResult struct {
+		accepted, dropped uint64
+		err               error
+	}
+	done := make(chan replayResult, 1)
+	go func() {
+		acc, drop, err := srv.Replay(ctx, src)
+		done <- replayResult{acc, drop, err}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	var ticker <-chan time.Time
+	if *statsEvery > 0 {
+		tk := time.NewTicker(*statsEvery)
+		defer tk.Stop()
+		ticker = tk.C
+	}
+
+	var res replayResult
+supervise:
+	for {
+		select {
+		case res = <-done:
+			break supervise
+		case <-ticker:
+			fmt.Printf("-- live --\n%s\n", srv.Stats())
+		case sig := <-sigc:
+			switch sig {
+			case syscall.SIGHUP:
+				if *modelPath == "" {
+					fmt.Fprintln(os.Stderr, "iguard-serve: SIGHUP ignored: no -model file to reload")
+					continue
+				}
+				nd, err := loadModel(*modelPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "iguard-serve: reload failed:", err)
+					continue
+				}
+				if err := srv.Swap(nil, nd.CompiledRules()); err != nil {
+					fmt.Fprintln(os.Stderr, "iguard-serve: swap failed:", err)
+					continue
+				}
+				fmt.Fprintln(os.Stderr, "iguard-serve: model reloaded and hot-swapped")
+			default:
+				fmt.Fprintf(os.Stderr, "iguard-serve: %v: draining...\n", sig)
+				cancel()
+				res = <-done
+				break supervise
+			}
+		}
+	}
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+	// A replay cut short by our own drain signal is a clean shutdown,
+	// not a failure.
+	if res.err != nil && !errors.Is(res.err, context.Canceled) {
+		fatal(res.err)
+	}
+
+	st := srv.Stats()
+	fmt.Printf("accepted=%d dropped=%d decisions=%d\n", res.accepted, res.dropped, decisions.Load())
+	fmt.Println(st)
+	if st.Packets == 0 {
+		fatal(fmt.Errorf("no packets processed"))
+	}
+}
+
+// openSource builds the packet source: a streaming PCAP reader when
+// -replay is given, otherwise a synthetic benign+attack mix.
+func openSource(replayPath string, seed int64, benignFl int, attackName string, attackFl int) (serve.Source, func(), error) {
+	if replayPath != "" {
+		f, err := os.Open(replayPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := netpkt.NewPcapReader(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return serve.PcapSource{R: r}, func() { f.Close() }, nil
+	}
+	benign := traffic.GenerateBenign(seed+1, benignFl)
+	attack, err := traffic.GenerateAttack(traffic.AttackName(attackName), seed+2, attackFl)
+	if err != nil {
+		return nil, nil, err
+	}
+	return serve.NewTraceSource(benign.Merge(attack).Packets), func() {}, nil
+}
+
+func loadModel(path string) (*iguard.Detector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return iguard.Load(f)
+}
+
+func loadOrTrain(modelPath string, trainSyn int, seed int64) *iguard.Detector {
+	if modelPath != "" {
+		det, err := loadModel(modelPath)
+		if err != nil {
+			fatal(err)
+		}
+		return det
+	}
+	if trainSyn <= 0 {
+		trainSyn = 300
+	}
+	fmt.Printf("training on %d synthetic benign flows...\n", trainSyn)
+	cfg := iguard.DefaultConfig()
+	cfg.Seed = seed
+	det, err := iguard.Train(traffic.GenerateBenign(seed, trainSyn).Packets, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	return det
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iguard-serve:", err)
+	os.Exit(1)
+}

@@ -4,13 +4,19 @@
 // usage and (when ground truth is available via synthetic generation)
 // per-packet detection metrics.
 //
+// The replay runs on the sharded serving runtime (internal/serve):
+// packets are hash-partitioned by flow key across -shards workers,
+// each owning a private switch+controller pair, so per-flow decisions
+// are identical at any shard count.
+//
 // Usage:
 //
 //	iguard-switch -model model.json -replay mixed.pcap
-//	iguard-switch -train-synthetic 400 -attack "UDP DDoS" -attack-flows 40
+//	iguard-switch -train-synthetic 400 -attack "UDP DDoS" -attack-flows 40 -shards 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +26,7 @@ import (
 	"iguard/internal/features"
 	"iguard/internal/metrics"
 	"iguard/internal/netpkt"
+	"iguard/internal/serve"
 	"iguard/internal/switchsim"
 	"iguard/internal/traffic"
 )
@@ -33,13 +40,17 @@ func main() {
 		attackFl   = flag.Int("attack-flows", 40, "synthetic attack flow count")
 		benignFl   = flag.Int("benign-flows", 200, "synthetic benign replay flow count")
 		seed       = flag.Int64("seed", 7, "synthetic generation seed")
+		shards     = flag.Int("shards", 1, "shard worker count for the replay")
+		queue      = flag.Int("queue", 1024, "per-shard mailbox depth")
+		dropPolicy = flag.String("drop-policy", "block", "backpressure policy: block or drop")
 	)
 	flag.Parse()
 
+	policy, err := serve.ParseDropPolicy(*dropPolicy)
+	if err != nil {
+		fatal(err)
+	}
 	det := loadOrTrain(*modelPath, *trainSyn, *seed)
-	dep := det.NewDeployment(iguard.DefaultDeployConfig())
-	defer dep.Close()
-	sw := dep.Switch
 
 	var packets []iguard.Packet
 	var truth *traffic.Trace
@@ -67,44 +78,66 @@ func main() {
 		packets = truth.Packets
 	}
 
-	start := time.Now()
-	var preds, truths []int
-	var scores []float64
-	for i := range packets {
-		d := sw.ProcessPacket(&packets[i])
-		if truth != nil {
-			preds = append(preds, d.Predicted)
-			scores = append(scores, float64(d.Predicted))
-			label := 0
-			if truth.IsMalicious(features.KeyOf(&packets[i])) {
-				label = 1
-			}
-			truths = append(truths, label)
+	// OnDecision fires on shard goroutines, but seq numbers are dense
+	// over accepted packets, so writes land on distinct indices and are
+	// visible after Close (the drain is a happens-before barrier).
+	preds := make([]int, len(packets))
+	truths := make([]int, len(packets))
+	scores := make([]float64, len(packets))
+	cfg := iguard.DefaultServeConfig()
+	cfg.Shards = *shards
+	cfg.QueueDepth = *queue
+	cfg.Policy = policy
+	cfg.OnDecision = func(_ int, seq uint64, p *iguard.Packet, d switchsim.Decision) {
+		preds[seq] = d.Predicted
+		scores[seq] = float64(d.Predicted)
+		if truth != nil && truth.IsMalicious(features.KeyOf(p)) {
+			truths[seq] = 1
 		}
 	}
-	elapsed := time.Since(start)
+	srv, err := det.NewServer(cfg)
+	if err != nil {
+		fatal(err)
+	}
 
-	c := sw.Counters
-	fmt.Printf("replayed %d packets in %v (%.0f pkt/s simulated host rate)\n",
-		c.Packets, elapsed.Round(time.Millisecond), float64(c.Packets)/elapsed.Seconds())
+	_, dropped, err := srv.Replay(context.Background(), serve.NewTraceSource(packets))
+	if err != nil {
+		fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+	st := srv.Stats()
+
+	fmt.Printf("replayed %d packets in %v across %d shard(s) (%.0f pkt/s simulated host rate)\n",
+		st.Packets, st.WallElapsed.Round(time.Millisecond), len(st.Shards), st.PPS)
+	if dropped > 0 {
+		fmt.Printf("queue drops: %d\n", dropped)
+	}
 	fmt.Println("\npacket paths (Fig. 4):")
 	for p := switchsim.PathRed; p <= switchsim.PathGreen; p++ {
-		fmt.Printf("  %-7s %8d\n", p, c.PathCounts[p])
+		fmt.Printf("  %-7s %8d\n", p, st.PathCounts[p])
 	}
-	fmt.Printf("\ndrops=%d digests=%d (%d B) recirculated=%d mirroredCPU=%d hardCollisions=%d\n",
-		c.Drops, c.Digests, c.DigestBytes, c.Recirculated, c.MirroredCPU, c.HardCollisions)
-	ds := dep.Stats()
-	st := ds.Controller
-	fmt.Printf("controller: digests=%d installed=%d evicted=%d cleared=%d\n",
-		st.DigestsReceived, st.RulesInstalled, st.RulesEvicted, st.StorageCleared)
-	fmt.Printf("blacklist size: %d\n", ds.BlacklistLen)
-	fmt.Printf("modelled per-packet latency: %v\n", sw.AvgLatency())
-	fmt.Printf("\nresources: %s\n", sw.Usage().Fractions(switchsim.Tofino1Budget()))
+	fmt.Printf("\ndrops=%d digests=%d (%d B) recirculated=%d hardCollisions=%d\n",
+		st.Drops, st.Digests, st.DigestBytes, st.Recirculated, st.HardCollisions)
+	fmt.Printf("controller: digests=%d installed=%d evicted=%d\n",
+		st.Digests, st.RulesInstalled, st.RulesEvicted)
+	fmt.Printf("blacklist size: %d\n", st.BlacklistLen)
+	fmt.Printf("modelled per-packet latency: %v\n", st.AvgLatency)
+	fmt.Printf("\nresources (per shard): %s\n", shardUsage(det).Fractions(switchsim.Tofino1Budget()))
 
 	if truth != nil {
-		s := metrics.Evaluate(scores, preds, truths)
+		s := metrics.Evaluate(scores[:st.Packets], preds[:st.Packets], truths[:st.Packets])
 		fmt.Printf("\nper-packet detection: macroF1=%.3f PRAUC=%.3f ROCAUC=%.3f\n", s.MacroF1, s.PRAUC, s.ROCAUC)
 	}
+}
+
+// shardUsage reports the resource footprint of one shard's switch —
+// every shard is configured identically, so one is representative.
+func shardUsage(det *iguard.Detector) switchsim.Usage {
+	dep := det.NewDeployment(iguard.DefaultDeployConfig())
+	defer dep.Close()
+	return dep.Switch.Usage()
 }
 
 func loadOrTrain(modelPath string, trainSyn int, seed int64) *iguard.Detector {

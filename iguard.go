@@ -46,6 +46,7 @@ import (
 	"iguard/internal/netpkt"
 	"iguard/internal/parallel"
 	"iguard/internal/rules"
+	"iguard/internal/serve"
 	"iguard/internal/switchsim"
 )
 
@@ -593,6 +594,20 @@ func (d *Detector) NewDeployment(cfg DeployConfig) *Deployment {
 	return &Deployment{Switch: sw, Controller: ctrl}
 }
 
+// Sweep runs the control-plane timeout sweep at the given trace
+// instant: flows idle past the configured timeout are classified and
+// digested from their accumulated state, and stale flow labels are
+// reclaimed so their slots free up. Without periodic sweeps, stale
+// slots linger until a colliding flow evicts them as victims — a
+// caller processing packets one at a time should sweep on a cadence
+// of its own choosing (the serve runtime does this per shard, paced
+// by capture timestamps). Sweep follows the switch's single-goroutine
+// ownership contract: call it from the goroutine that drives
+// ProcessPacket, with a monotonically non-decreasing now.
+func (dep *Deployment) Sweep(now time.Time) {
+	dep.Switch.SweepTimeouts(now)
+}
+
 // Stats snapshots counters from both planes.
 func (dep *Deployment) Stats() DeploymentStats {
 	return DeploymentStats{
@@ -624,4 +639,65 @@ func (dep *Deployment) Close() error {
 func (d *Detector) Deploy(cfg DeployConfig) (*switchsim.Switch, *controller.Controller) {
 	dep := d.NewDeployment(cfg)
 	return dep.Switch, dep.Controller
+}
+
+// ServeConfig parameterises NewServer. The zero value serves on one
+// shard with the default deployment.
+type ServeConfig struct {
+	// Deploy configures each shard's private deployment. Slots and
+	// BlacklistCapacity are per shard, so total capacity scales with
+	// the shard count. A zero value uses DefaultDeployConfig.
+	Deploy DeployConfig
+	// Shards is the worker count; flows never span shards. 0 means 1.
+	Shards int
+	// QueueDepth bounds each shard's input queue (0 = 1024).
+	QueueDepth int
+	// Policy selects backpressure (serve.Block) or counted shedding
+	// (serve.Drop) when a shard queue fills.
+	Policy serve.DropPolicy
+	// SweepEvery is the trace-time cadence of per-shard timeout
+	// sweeps; zero disables them.
+	SweepEvery time.Duration
+	// OnDecision observes every processed packet; see serve.Config.
+	OnDecision func(shard int, seq uint64, p *Packet, d switchsim.Decision)
+	// Now supplies wall time for throughput stats; nil reports rates
+	// over trace time (deterministic replays never consult the wall
+	// clock).
+	Now func() time.Time
+}
+
+// DefaultServeConfig returns a serving configuration matching the
+// evaluation's deployment on four shards with trace-paced sweeps at
+// the flow-timeout cadence.
+func DefaultServeConfig() ServeConfig {
+	return ServeConfig{
+		Deploy:     DefaultDeployConfig(),
+		Shards:     4,
+		SweepEvery: 5 * time.Second,
+	}
+}
+
+// NewServer builds the sharded streaming runtime for this detector:
+// each shard owns a private deployment (switch + controller) carrying
+// the detector's compiled whitelist, and packets are hash-partitioned
+// by flow so the single-goroutine data-plane contract holds without
+// hot-path locks. Swap a newly loaded model into the running server
+// with srv.Swap(nil, newDet.CompiledRules()). See the serve package
+// for the full concurrency contract.
+func (d *Detector) NewServer(cfg ServeConfig) (*serve.Server, error) {
+	if cfg.Deploy == (DeployConfig{}) {
+		cfg.Deploy = DefaultDeployConfig()
+	}
+	return serve.New(serve.Config{
+		Shards:     cfg.Shards,
+		QueueDepth: cfg.QueueDepth,
+		Policy:     cfg.Policy,
+		SweepEvery: cfg.SweepEvery,
+		OnDecision: cfg.OnDecision,
+		Now:        cfg.Now,
+		NewShard: func(int) serve.Shard {
+			dep := d.NewDeployment(cfg.Deploy)
+			return serve.Shard{Switch: dep.Switch, Controller: dep.Controller}
+		},
+	})
 }

@@ -1,0 +1,145 @@
+package iguard
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"iguard/internal/features"
+	"iguard/internal/serve"
+	"iguard/internal/switchsim"
+	"iguard/internal/traffic"
+)
+
+// TestDeploymentSweep pins the satellite fix: a deployment driven one
+// packet at a time can now reclaim stale flow slots explicitly instead
+// of waiting for a colliding flow to evict them.
+func TestDeploymentSweep(t *testing.T) {
+	det := trainTiny(t)
+	dep := det.NewDeployment(DefaultDeployConfig())
+	defer func() {
+		if err := dep.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	// Feed a few packets of one flow — fewer than the threshold, so
+	// the flow sits unclassified in its slot.
+	trace := traffic.GenerateBenign(30, 3)
+	n := det.cfg.FlowThreshold - 1
+	if n > len(trace.Packets) {
+		n = len(trace.Packets)
+	}
+	var last time.Time
+	for i := 0; i < n; i++ {
+		dep.Switch.ProcessPacket(&trace.Packets[i])
+		last = trace.Packets[i].Timestamp
+	}
+	if dep.Stats().ActiveFlows == 0 {
+		t.Fatal("no flow state accumulated")
+	}
+
+	// Sweep past the idle timeout: the stale flows are classified,
+	// digested, and their storage reclaimed.
+	before := dep.Switch.Counters.Digests
+	dep.Sweep(last.Add(det.cfg.FlowTimeout + time.Second))
+	if dep.Switch.Counters.Sweeps != 1 {
+		t.Fatalf("sweeps=%d want 1", dep.Switch.Counters.Sweeps)
+	}
+	if dep.Switch.Counters.Digests <= before {
+		t.Fatal("sweep classified no idle flows")
+	}
+	// A second sweep much later also reclaims the lingering labels.
+	dep.Sweep(last.Add(10 * det.cfg.FlowTimeout))
+	if got := dep.Stats().ActiveFlows; got != 0 {
+		t.Fatalf("activeFlows=%d after label-reclaim sweep, want 0", got)
+	}
+}
+
+// TestNewServerServes drives the detector-integrated serving runtime
+// end to end: replay, decisions on every packet, digests reaching the
+// per-shard controllers, hot-swap back to the same model, clean drain.
+func TestNewServerServes(t *testing.T) {
+	det := trainTiny(t)
+	cfg := DefaultServeConfig()
+	cfg.Shards = 2
+	cfg.SweepEvery = det.cfg.FlowTimeout
+	srv, err := det.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack := traffic.MustGenerateAttack(traffic.UDPDDoS, 31, 10)
+	trace := traffic.GenerateBenign(32, 40).Merge(attack)
+	accepted, dropped, err := srv.Replay(context.Background(), serve.NewTraceSource(trace.Packets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 || accepted != uint64(len(trace.Packets)) {
+		t.Fatalf("accepted=%d dropped=%d of %d", accepted, dropped, len(trace.Packets))
+	}
+	// Hot-swap the (same) model mid-life: the running server keeps
+	// serving the detector's compiled whitelist.
+	if err := srv.Swap(nil, det.CompiledRules()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Packets != len(trace.Packets) {
+		t.Fatalf("processed=%d want %d", st.Packets, len(trace.Packets))
+	}
+	if st.Digests == 0 {
+		t.Fatal("no digests reached the controllers")
+	}
+	if st.Swaps != 1 {
+		t.Fatalf("swaps=%d want 1", st.Swaps)
+	}
+	if len(st.Shards) != 2 {
+		t.Fatalf("shards=%d want 2", len(st.Shards))
+	}
+}
+
+// TestNewServerDecisionsMatchDeployment pins serving against the
+// library: a 1-shard server must reproduce exactly what a bare
+// Deployment computes packet by packet (the serve layer adds routing,
+// never semantics). Sweeps are off on both sides so the comparison is
+// pure packet-path.
+func TestNewServerDecisionsMatchDeployment(t *testing.T) {
+	det := trainTiny(t)
+	trace := traffic.GenerateBenign(33, 30).Merge(traffic.MustGenerateAttack(traffic.Mirai, 34, 8))
+
+	dep := det.NewDeployment(DefaultDeployConfig())
+	defer func() {
+		if err := dep.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	want := make([]switchsim.Decision, len(trace.Packets))
+	for i := range trace.Packets {
+		want[i] = dep.Switch.ProcessPacket(&trace.Packets[i])
+		want[i].Digest = nil // pointer identity is not comparable across runs
+	}
+
+	got := make([]switchsim.Decision, len(trace.Packets))
+	scfg := ServeConfig{Shards: 1, OnDecision: func(_ int, seq uint64, _ *Packet, d switchsim.Decision) {
+		d.Digest = nil
+		got[seq] = d
+	}}
+	srv, err := det.NewServer(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.Replay(context.Background(), serve.NewTraceSource(trace.Packets)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("packet %d (%v): deployment=%+v server=%+v",
+				i, features.KeyOf(&trace.Packets[i]), want[i], got[i])
+		}
+	}
+}

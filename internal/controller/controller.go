@@ -60,9 +60,11 @@ type Stats struct {
 // through the Switch interface to an implementation whose latency the
 // controller cannot bound, and holding mu across them would stall
 // every other digest pipeline. OnDigest decides the actions under mu
-// and applies them after unlocking; the Switch implementation must
-// provide its own synchronisation (switchsim.Switch does), because it
-// is invoked from whichever goroutine delivered the digest.
+// and applies them after unlocking; the Switch implementation is
+// invoked from whichever goroutine delivered the digest, so it must
+// either tolerate that (switchsim.Switch delivers digests
+// synchronously from its owning goroutine, which bounces these calls
+// back onto it — see its ownership contract) or carry its own locks.
 type Controller struct {
 	mu       sync.Mutex
 	sw       Switch
@@ -146,6 +148,30 @@ func (c *Controller) popVictimLocked() (features.FlowKey, bool) {
 	c.order.Remove(front)
 	delete(c.index, key)
 	return key, true
+}
+
+// Flush removes every tracked blacklist entry from both the
+// bookkeeping and the data plane, returning the number removed. It
+// exists for model hot-swap: when a replacement model changes what
+// "malicious" means, the operator may want verdicts issued under the
+// old rules withdrawn rather than aging out. Removals count as
+// evictions in Stats. Like OnDigest, the data-plane calls happen
+// after the lock is released.
+func (c *Controller) Flush() int {
+	c.mu.Lock()
+	victims := make([]features.FlowKey, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		victims = append(victims, el.Value.(features.FlowKey))
+	}
+	c.order.Init()
+	c.index = map[features.FlowKey]*list.Element{}
+	c.stats.RulesEvicted += len(victims)
+	c.mu.Unlock()
+
+	for _, v := range victims {
+		c.sw.RemoveBlacklist(v)
+	}
+	return len(victims)
 }
 
 // Touch records data-plane activity for an already blacklisted flow

@@ -212,3 +212,31 @@ func TestConcurrentMixedOps(t *testing.T) {
 		t.Errorf("blacklist = %d, want capacity 32", got)
 	}
 }
+
+func TestFlushRemovesAllEntries(t *testing.T) {
+	fs := newFakeSwitch()
+	c := New(fs, 10, LRU)
+	for i := byte(1); i <= 5; i++ {
+		c.OnDigest(switchsim.Digest{Key: key(i), Label: 1})
+	}
+	if c.BlacklistLen() != 5 || len(fs.installed) != 5 {
+		t.Fatalf("setup: tracked=%d installed=%d", c.BlacklistLen(), len(fs.installed))
+	}
+	if n := c.Flush(); n != 5 {
+		t.Fatalf("Flush removed %d entries, want 5", n)
+	}
+	if c.BlacklistLen() != 0 || len(fs.installed) != 0 {
+		t.Fatalf("after flush: tracked=%d installed=%d", c.BlacklistLen(), len(fs.installed))
+	}
+	if got := c.Stats().RulesEvicted; got != 5 {
+		t.Fatalf("RulesEvicted=%d want 5", got)
+	}
+	// Idempotent on empty, and the table keeps working afterwards.
+	if n := c.Flush(); n != 0 {
+		t.Fatalf("second Flush removed %d entries, want 0", n)
+	}
+	c.OnDigest(switchsim.Digest{Key: key(9), Label: 1})
+	if c.BlacklistLen() != 1 || !fs.installed[key(9).Canonical()] {
+		t.Fatal("controller unusable after Flush")
+	}
+}

@@ -248,3 +248,72 @@ func TestReadAllSkipsNonIPv4(t *testing.T) {
 		t.Errorf("ReadAll = %d packets, want 1 (ARP skipped)", len(got))
 	}
 }
+
+func TestNextValidSkipsUnparseable(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf)
+	first := samplePacket(ProtoTCP)
+	if err := w.WritePacket(&first); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	raw := buf.Bytes()
+	// Splice in a hand-built ARP record (ethertype 0x0806): Next would
+	// report a parse error, NextValid must skip it.
+	arp := make([]byte, 16+60)
+	arp[8] = 60  // caplen (little-endian)
+	arp[12] = 60 // origlen
+	arp[16+12], arp[16+13] = 0x08, 0x06
+	raw = append(raw, arp...)
+	// Then a second valid packet after the junk frame.
+	var tail bytes.Buffer
+	w2 := NewPcapWriter(&tail)
+	second := samplePacket(ProtoUDP)
+	if err := w2.WritePacket(&second); err != nil {
+		t.Fatal(err)
+	}
+	w2.Flush()
+	raw = append(raw, tail.Bytes()[24:]...) // strip the file header
+
+	r, err := NewPcapReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := r.NextValid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1.Proto != ProtoTCP {
+		t.Errorf("first proto = %d, want TCP", got1.Proto)
+	}
+	got2, err := r.NextValid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Proto != ProtoUDP {
+		t.Errorf("second proto = %d, want UDP", got2.Proto)
+	}
+	if _, err := r.NextValid(); err != io.EOF {
+		t.Errorf("at end: err = %v, want io.EOF", err)
+	}
+}
+
+func TestNextValidPropagatesIOErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf)
+	p := samplePacket(ProtoTCP)
+	if err := w.WritePacket(&p); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	// Truncate mid-record: the reader hits an unexpected EOF, which is
+	// an I/O error NextValid must surface rather than swallow.
+	raw := buf.Bytes()[:buf.Len()-4]
+	r, err := NewPcapReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NextValid(); err == nil || err == io.EOF {
+		t.Errorf("truncated stream: err = %v, want I/O error", err)
+	}
+}

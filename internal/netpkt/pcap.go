@@ -146,34 +146,42 @@ func (pr *PcapReader) Next() (Packet, error) {
 	return Unmarshal(data, ts, int(origLen))
 }
 
+// NextValid returns the next parseable IPv4 packet, silently skipping
+// the frames ReadAll would skip (non-IPv4, malformed). It is the
+// streaming equivalent of ReadAll for consumers that must not buffer
+// the whole trace — e.g. the serve runtime ingesting a capture file.
+// io.EOF marks a clean end of stream; I/O errors propagate.
+func (pr *PcapReader) NextValid() (Packet, error) {
+	for {
+		p, err := pr.Next()
+		if err == nil {
+			return p, nil
+		}
+		if err == io.EOF {
+			return Packet{}, io.EOF
+		}
+		if isParseErr(err) {
+			continue
+		}
+		return Packet{}, err
+	}
+}
+
 // ReadAll drains the reader, silently skipping unparseable frames, and
 // returns every IPv4 packet.
 func (pr *PcapReader) ReadAll() ([]Packet, error) {
 	var out []Packet
 	for {
-		p, err := pr.Next()
+		p, err := pr.NextValid()
 		if err == io.EOF {
 			return out, nil
 		}
 		if err != nil {
-			// Skip non-IPv4 or malformed frames but propagate I/O errors.
-			if _, ok := err.(*parseError); ok {
-				continue
-			}
-			// Heuristic: parsing errors from Unmarshal are plain errors;
-			// treat them as skippable, I/O errors as fatal.
-			if isParseErr(err) {
-				continue
-			}
 			return out, err
 		}
 		out = append(out, p)
 	}
 }
-
-type parseError struct{ msg string }
-
-func (e *parseError) Error() string { return e.msg }
 
 // isParseErr distinguishes frame-level parse failures (skippable) from
 // stream-level failures by message origin.

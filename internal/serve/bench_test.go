@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"iguard/internal/controller"
+	"iguard/internal/features"
+	"iguard/internal/mathx"
+	"iguard/internal/netpkt"
+	"iguard/internal/rules"
+	"iguard/internal/switchsim"
+	"iguard/internal/traffic"
+)
+
+// benchPLRules builds a deep PL whitelist (many narrow boxes) so each
+// brown-path packet pays a realistic multi-rule TCAM scan — the per-
+// packet work that sharding parallelises.
+func benchPLRules(count int) *rules.CompiledRuleSet {
+	min := []float64{0, 0, 0, 0}
+	max := []float64{65535, 255, 2000, 255}
+	r := mathx.NewRand(42)
+	rs := &rules.RuleSet{Dim: features.PLDim, DefaultLabel: 1}
+	for i := 0; i < count; i++ {
+		box := make(rules.Box, features.PLDim)
+		for d := range box {
+			lo := r.Float64() * max[d] * 0.9
+			box[d] = rules.Interval{Lo: lo, Hi: lo + 0.02*max[d]}
+		}
+		rs.Rules = append(rs.Rules, rules.Rule{Box: box, Label: 0})
+	}
+	return rules.Compile(rs, rules.NewQuantizer(min, max, 12))
+}
+
+// benchShardFactory keeps flows below the packet threshold so every
+// packet takes the brown path: a steady-state filtering workload.
+func benchShardFactory(pl *rules.CompiledRuleSet) func(int) Shard {
+	return func(int) Shard {
+		sw := switchsim.New(switchsim.Config{
+			Slots:        1 << 14,
+			PktThreshold: 1 << 30,
+			Timeout:      time.Hour,
+			PLRules:      pl,
+		})
+		ctrl := controller.New(sw, 8192, controller.FIFO)
+		sw.SetSink(ctrl)
+		return Shard{Switch: sw, Controller: ctrl}
+	}
+}
+
+// benchPackets returns a reusable synthetic workload.
+func benchPackets(b *testing.B) []netpkt.Packet {
+	b.Helper()
+	attack, err := traffic.GenerateAttack(traffic.UDPDDoS, 2, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return traffic.GenerateBenign(1, 256).Merge(attack).Packets
+}
+
+// BenchmarkProcessPacket measures the single-switch hot path in
+// isolation — the per-shard cost that BenchmarkServeThroughput divides
+// across workers. Tracked separately so a hot-path regression is not
+// masked by shard scaling (and vice versa).
+func BenchmarkProcessPacket(b *testing.B) {
+	pkts := benchPackets(b)
+	sh := benchShardFactory(benchPLRules(256))(0)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sh.Switch.ProcessPacket(&pkts[i%len(pkts)])
+	}
+}
+
+// BenchmarkServeThroughput measures end-to-end ingest→decision packet
+// rate across shard counts on the same synthetic workload (ns/op is
+// per packet, drain included). On a multi-core host the 4-shard run
+// should sustain at least twice the 1-shard pps; on a single core the
+// shard counts only measure the runtime's overhead.
+func BenchmarkServeThroughput(b *testing.B) {
+	pkts := benchPackets(b)
+	pl := benchPLRules(256)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			srv, err := New(Config{
+				Shards:     shards,
+				QueueDepth: 1024,
+				Policy:     Block,
+				NewShard:   benchShardFactory(pl),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.Ingest(&pkts[i%len(pkts)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := srv.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			st := srv.Stats()
+			if st.Packets != b.N {
+				b.Fatalf("processed %d packets, want %d", st.Packets, b.N)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pps")
+		})
+	}
+}

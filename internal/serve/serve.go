@@ -1,0 +1,439 @@
+// Package serve is iGuard's streaming detection runtime: the layer
+// between a packet source and the deployed data plane that the library
+// itself does not provide. A Server hash-partitions packets by
+// canonical flow key onto N shard workers, each owning a private
+// switchsim.Switch + controller.Controller pair — the switch's
+// single-goroutine ownership contract is preserved by construction, so
+// the hot path takes no locks. Shards are fed through bounded channels
+// with a configurable backpressure policy (block the producer, or
+// count-and-drop), swept for flow timeouts on a trace-time cadence so
+// pcap replays stay deterministic, and support atomic whitelist
+// hot-swap: a new model's rules replace the running ones between
+// packets, no restart, with flow state and blacklist surviving.
+//
+// Concurrency contract: Ingest/Replay form the producer side and must
+// be called from one goroutine at a time; Swap, Stats, and Close are
+// control-plane operations for the same supervising goroutine (or one
+// that otherwise serialises against the producer and each other).
+// Decision callbacks run on shard goroutines — serially within a
+// shard, concurrently across shards. This single-supervisor shape is
+// what lets the packet path stay lock-free.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iguard/internal/controller"
+	"iguard/internal/features"
+	"iguard/internal/netpkt"
+	"iguard/internal/rules"
+	"iguard/internal/switchsim"
+)
+
+// shardSeed salts the flow-key hash used for shard selection. It is
+// deliberately distinct from the switch's two table seeds so that the
+// shard partition is independent of slot indexing: two flows that
+// collide in a switch table do not systematically land on one shard.
+const shardSeed uint32 = 0x5eed51ab
+
+// DropPolicy selects what Ingest does when a shard's queue is full.
+type DropPolicy int
+
+const (
+	// Block applies backpressure: Ingest waits for queue space. No
+	// packet is ever lost; the producer runs at the shards' pace.
+	Block DropPolicy = iota
+	// Drop counts the packet as a queue drop and moves on — the
+	// line-rate answer when the source cannot be stalled.
+	Drop
+)
+
+// String implements fmt.Stringer.
+func (p DropPolicy) String() string {
+	if p == Drop {
+		return "drop"
+	}
+	return "block"
+}
+
+// ParseDropPolicy converts a flag value ("block" or "drop").
+func ParseDropPolicy(s string) (DropPolicy, error) {
+	switch strings.ToLower(s) {
+	case "block":
+		return Block, nil
+	case "drop":
+		return Drop, nil
+	}
+	return Block, fmt.Errorf("serve: unknown drop policy %q (want block or drop)", s)
+}
+
+// Shard is one worker's private data-plane/control-plane pair. The
+// server takes ownership: after New, only the shard's worker goroutine
+// touches the Switch.
+type Shard struct {
+	Switch     *switchsim.Switch
+	Controller *controller.Controller
+}
+
+// Config parameterises New.
+type Config struct {
+	// Shards is the worker count; packets of one flow always land on
+	// the same shard. Defaults to 1.
+	Shards int
+	// QueueDepth bounds each shard's input channel. Defaults to 1024.
+	QueueDepth int
+	// Policy is the backpressure policy when a queue is full.
+	Policy DropPolicy
+	// SweepEvery, when positive, broadcasts a timeout sweep to every
+	// shard each time the trace clock (the maximum capture timestamp
+	// observed by Ingest) advances by this much. Sweeps ride the same
+	// queues as packets, so a replayed trace produces the same sweep
+	// points on every run. Zero disables periodic sweeps.
+	SweepEvery time.Duration
+	// NewShard builds worker i's private pair. Required. It is called
+	// Shards times from New, before any worker starts.
+	NewShard func(shard int) Shard
+	// OnDecision, when non-nil, observes every processed packet: seq
+	// is the packet's ingest sequence number (dense over accepted
+	// packets, in producer order). Called on shard goroutines —
+	// serially within a shard, concurrently across shards.
+	OnDecision func(shard int, seq uint64, p *netpkt.Packet, d switchsim.Decision)
+	// Now supplies wall time for Stats' elapsed/pps figures. The
+	// runtime itself never consults the wall clock (all timeout logic
+	// runs on capture timestamps), so this is nil-safe: without it,
+	// rates are reported over trace time instead.
+	Now func() time.Time
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	return c
+}
+
+// message kinds delivered to shard workers.
+const (
+	msgPacket = iota
+	msgTick
+	msgSwap
+	msgStats
+	msgFlush
+)
+
+// shardMsg is one mailbox entry: a packet, a sweep tick, a rule swap,
+// or a stats request. Control messages share the packet queue so they
+// serialise naturally between packets.
+type shardMsg struct {
+	kind int
+	pkt  *netpkt.Packet
+	seq  uint64
+	now  time.Time // tick
+	pl   *rules.CompiledRuleSet
+	fl   *rules.CompiledRuleSet
+	ack  chan<- ShardStats // swap + stats replies
+	ackN chan<- int        // flush replies
+}
+
+// shardWorker is the per-shard state. The worker goroutine owns sw and
+// ctrl; queueDrops is written by the producer and read by the worker,
+// hence atomic.
+type shardWorker struct {
+	id         int
+	sw         *switchsim.Switch
+	ctrl       *controller.Controller
+	in         chan shardMsg
+	queueDrops atomic.Uint64
+	swaps      int
+	final      ShardStats
+}
+
+// ErrClosed is returned by operations on a closed server.
+var ErrClosed = errors.New("serve: server closed")
+
+// Server is the sharded streaming runtime. Build with New; drive with
+// Ingest or Replay; swap models with Swap; observe with Stats; drain
+// and stop with Close.
+type Server struct {
+	cfg    Config
+	shards []*shardWorker
+	wg     sync.WaitGroup
+
+	closed  atomic.Bool
+	drained atomic.Bool
+
+	// ingested doubles as the next sequence number (producer-owned
+	// increment, atomically readable by Stats).
+	ingested   atomic.Uint64
+	queueDrops atomic.Uint64
+
+	// Trace clock, unix-nano encoded so Stats can read it from outside
+	// the producer goroutine. Zero means "no packet seen yet".
+	traceStart atomic.Int64
+	traceNow   atomic.Int64
+	lastTick   int64 // producer-owned
+	ticks      atomic.Uint64
+
+	wallStart time.Time // set in New when cfg.Now != nil
+}
+
+// New validates the config, builds the shards, and starts the workers.
+func New(cfg Config) (*Server, error) {
+	if cfg.NewShard == nil {
+		return nil, errors.New("serve: Config.NewShard is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg}
+	if cfg.Now != nil {
+		s.wallStart = cfg.Now()
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := cfg.NewShard(i)
+		if sh.Switch == nil {
+			return nil, fmt.Errorf("serve: NewShard(%d) returned a nil Switch", i)
+		}
+		w := &shardWorker{id: i, sw: sh.Switch, ctrl: sh.Controller, in: make(chan shardMsg, cfg.QueueDepth)}
+		s.shards = append(s.shards, w)
+	}
+	s.wg.Add(len(s.shards))
+	for _, w := range s.shards {
+		go s.runShard(w)
+	}
+	return s, nil
+}
+
+// Shards returns the configured shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// runShard is the worker loop: it owns the shard's switch, so every
+// interaction with it — packets, sweeps, swaps, stats snapshots — is
+// a mailbox message. Exits when the mailbox closes (Close), after
+// draining everything already queued.
+func (s *Server) runShard(w *shardWorker) {
+	defer s.wg.Done()
+	for m := range w.in {
+		switch m.kind {
+		case msgPacket:
+			d := w.sw.ProcessPacket(m.pkt)
+			if s.cfg.OnDecision != nil {
+				s.cfg.OnDecision(w.id, m.seq, m.pkt, d)
+			}
+		case msgTick:
+			w.sw.SweepTimeouts(m.now)
+		case msgSwap:
+			w.sw.SetRules(m.pl, m.fl)
+			w.swaps++
+			if m.ack != nil {
+				m.ack <- w.snapshot()
+			}
+		case msgStats:
+			m.ack <- w.snapshot()
+		case msgFlush:
+			n := 0
+			if w.ctrl != nil {
+				// Flush's data-plane removals land on this goroutine,
+				// honouring the switch's ownership contract.
+				n = w.ctrl.Flush()
+			}
+			m.ackN <- n
+		}
+	}
+	w.final = w.snapshot()
+}
+
+// snapshot captures the shard's counters. Worker goroutine only.
+func (w *shardWorker) snapshot() ShardStats {
+	st := ShardStats{
+		Shard:        w.id,
+		Switch:       w.sw.Counters,
+		ActiveFlows:  w.sw.ActiveFlows(),
+		BlacklistLen: w.sw.BlacklistLen(),
+		AvgLatency:   w.sw.AvgLatency(),
+		QueueDrops:   w.queueDrops.Load(),
+		Swaps:        w.swaps,
+	}
+	if w.ctrl != nil {
+		st.Controller = w.ctrl.Stats()
+	}
+	return st
+}
+
+// shardOf maps a canonical flow key to its owning shard.
+func (s *Server) shardOf(key features.FlowKey) int {
+	return int(key.BiHash(shardSeed) % uint32(len(s.shards)))
+}
+
+// Ingest routes one packet to its flow's shard. It returns (true, nil)
+// when the packet was queued, (false, nil) when the Drop policy shed
+// it, and (false, ErrClosed) after Close. The packet must not be
+// mutated by the caller afterwards. Producer goroutine only.
+func (s *Server) Ingest(p *netpkt.Packet) (bool, error) {
+	if s.closed.Load() {
+		return false, ErrClosed
+	}
+	s.observe(p.Timestamp)
+	w := s.shards[s.shardOf(features.KeyOf(p).Canonical())]
+	m := shardMsg{kind: msgPacket, pkt: p, seq: s.ingested.Load()}
+	if s.cfg.Policy == Drop {
+		select {
+		case w.in <- m:
+		default:
+			w.queueDrops.Add(1)
+			s.queueDrops.Add(1)
+			return false, nil
+		}
+	} else {
+		w.in <- m
+	}
+	s.ingested.Add(1)
+	return true, nil
+}
+
+// observe advances the trace clock and broadcasts sweep ticks when it
+// crosses the SweepEvery cadence. Producer goroutine only.
+func (s *Server) observe(ts time.Time) {
+	ns := ts.UnixNano()
+	if s.traceStart.Load() == 0 {
+		s.traceStart.Store(ns)
+		s.traceNow.Store(ns)
+		s.lastTick = ns
+		return
+	}
+	if ns <= s.traceNow.Load() {
+		return
+	}
+	s.traceNow.Store(ns)
+	if s.cfg.SweepEvery <= 0 {
+		return
+	}
+	if time.Duration(ns-s.lastTick) < s.cfg.SweepEvery {
+		return
+	}
+	s.lastTick = ns
+	s.ticks.Add(1)
+	now := time.Unix(0, ns).UTC()
+	for _, w := range s.shards {
+		// Ticks are never shed: they carry timeout semantics, and a
+		// full queue only delays (bounded) rather than loses them.
+		w.in <- shardMsg{kind: msgTick, now: now}
+	}
+}
+
+// Swap atomically replaces the whitelist on every shard: each worker
+// applies the new rule sets between two packets, so no packet ever
+// sees a half-swapped table, and nothing is dropped or misrouted by
+// the swap itself. Flow state and blacklists survive. Swap returns
+// once every shard has applied the new rules (the acks double as a
+// barrier), making "the fleet now serves model X" a simple
+// happens-after. Supervisor goroutine only.
+func (s *Server) Swap(pl, fl *rules.CompiledRuleSet) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	ack := make(chan ShardStats, len(s.shards))
+	for _, w := range s.shards {
+		w.in <- shardMsg{kind: msgSwap, pl: pl, fl: fl, ack: ack}
+	}
+	for range s.shards {
+		<-ack
+	}
+	return nil
+}
+
+// FlushBlacklists withdraws every installed blacklist entry on every
+// shard — the companion to Swap when the replacement model redefines
+// "malicious" and verdicts issued under the old rules should not keep
+// blocking traffic. Returns the total number of entries removed once
+// every shard has flushed. Supervisor goroutine only.
+func (s *Server) FlushBlacklists() (int, error) {
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	ack := make(chan int, len(s.shards))
+	for _, w := range s.shards {
+		w.in <- shardMsg{kind: msgFlush, ackN: ack}
+	}
+	total := 0
+	for range s.shards {
+		total += <-ack
+	}
+	return total, nil
+}
+
+// Close stops the intake, drains every shard queue to completion, and
+// stops the workers. Idempotent. Supervisor goroutine only; after
+// Close, Ingest/Swap return ErrClosed and Stats serves the final
+// snapshot.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, w := range s.shards {
+		close(w.in)
+	}
+	s.wg.Wait()
+	s.drained.Store(true)
+	return nil
+}
+
+// Stats aggregates a consistent-enough view across shards: on a live
+// server each shard answers a stats request through its mailbox (so
+// the snapshot reflects that shard's state at its current queue
+// position); on a closed server the final drained snapshots are
+// served. Supervisor goroutine only.
+func (s *Server) Stats() Stats {
+	per := make([]ShardStats, len(s.shards))
+	if s.drained.Load() {
+		for i, w := range s.shards {
+			per[i] = w.final
+		}
+	} else {
+		ack := make(chan ShardStats, len(s.shards))
+		for _, w := range s.shards {
+			w.in <- shardMsg{kind: msgStats, ack: ack}
+		}
+		for range s.shards {
+			st := <-ack
+			per[st.Shard] = st
+		}
+	}
+	return s.aggregate(per)
+}
+
+// Replay pumps a source into the server until io.EOF, a source error,
+// or context cancellation, returning the accepted and shed counts.
+// Producer goroutine only.
+func (s *Server) Replay(ctx context.Context, src Source) (accepted, dropped uint64, err error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return accepted, dropped, err
+		}
+		p, err := src.Next()
+		if err == io.EOF {
+			return accepted, dropped, nil
+		}
+		if err != nil {
+			return accepted, dropped, err
+		}
+		ok, err := s.Ingest(&p)
+		if err != nil {
+			return accepted, dropped, err
+		}
+		if ok {
+			accepted++
+		} else {
+			dropped++
+		}
+	}
+}

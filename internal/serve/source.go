@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"io"
+
+	"iguard/internal/netpkt"
+)
+
+// Source is a streaming packet supply: Next returns packets in capture
+// order and io.EOF at end of stream. netpkt.PcapReader satisfies it
+// directly (strict variant); see PcapSource for the skip-on-parse-error
+// variant serving normally wants.
+type Source interface {
+	Next() (netpkt.Packet, error)
+}
+
+// PcapSource streams a capture file, skipping unparseable frames the
+// way netpkt.(*PcapReader).ReadAll does — without buffering the trace.
+type PcapSource struct {
+	R *netpkt.PcapReader
+}
+
+// Next implements Source.
+func (s PcapSource) Next() (netpkt.Packet, error) { return s.R.NextValid() }
+
+// TraceSource replays an in-memory packet slice (e.g. a synthetic
+// traffic.Trace) as a Source.
+type TraceSource struct {
+	packets []netpkt.Packet
+	i       int
+}
+
+// NewTraceSource wraps packets; the slice is read, never copied, so
+// the caller must not mutate it while the replay runs.
+func NewTraceSource(packets []netpkt.Packet) *TraceSource {
+	return &TraceSource{packets: packets}
+}
+
+// Next implements Source.
+func (s *TraceSource) Next() (netpkt.Packet, error) {
+	if s.i >= len(s.packets) {
+		return netpkt.Packet{}, io.EOF
+	}
+	p := s.packets[s.i]
+	s.i++
+	return p, nil
+}

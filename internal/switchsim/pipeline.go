@@ -156,9 +156,31 @@ type Counters struct {
 	// slots they reclaimed.
 	Sweeps        int
 	SweepReleases int
+	// RuleSwaps counts whitelist hot-swaps applied via SetRules.
+	RuleSwaps int
 }
 
 // Switch is the simulated data plane.
+//
+// Ownership and clock contract: a Switch is single-goroutine. It
+// carries no internal locking, by design — the hot path models a data
+// plane and must not pay for synchronisation it does not need — so
+// exactly one goroutine may touch a given Switch (ProcessPacket,
+// SweepTimeouts, SetRules, the blacklist mutators, Counters) at a
+// time. Digest delivery is synchronous: ProcessPacket invokes the
+// configured Sink inline, so a controller reacting to a digest calls
+// back into the switch on the owning goroutine, which is what makes
+// the controller's data-plane calls safe without a switch-side lock.
+// Concurrent serving runs one private Switch per shard worker and
+// routes every interaction — packets, timeout sweeps, rule swaps,
+// stats reads — through that worker's mailbox (see internal/serve).
+//
+// The Switch has no clock of its own: every timeout decision derives
+// from the time.Time values handed to it — packet capture timestamps
+// via ProcessPacket, and explicit sweep instants via SweepTimeouts.
+// Replaying the same trace therefore yields byte-identical behaviour
+// regardless of wall-clock speed; live deployments thread real time in
+// through the same two entry points.
 type Switch struct {
 	cfg       Config
 	tables    [2][]slot
@@ -183,6 +205,21 @@ func (sw *Switch) Config() Config { return sw.cfg }
 // SetSink attaches the digest consumer (the control plane). It exists
 // because the controller needs the switch reference first.
 func (sw *Switch) SetSink(sink DigestSink) { sw.cfg.Sink = sink }
+
+// SetRules replaces the whitelist tables in one step — the hot-swap
+// primitive of the model lifecycle: the control plane compiles a new
+// saved model and swaps its rules into the running pipeline between
+// packets, with flow state, labels, and the blacklist all surviving
+// the swap (only the match tables change, as a runtime table rewrite
+// would on hardware). Either set may be nil with the usual meaning
+// (nil PLRules forwards early packets unchecked; nil FLRules never
+// classifies in-switch). Per the ownership contract, the caller must
+// be the goroutine owning the switch.
+func (sw *Switch) SetRules(pl, fl *rules.CompiledRuleSet) {
+	sw.cfg.PLRules = pl
+	sw.cfg.FLRules = fl
+	sw.Counters.RuleSwaps++
+}
 
 // InstallBlacklist adds a 5-tuple to the blacklist table (the red-path
 // match). It returns false when the table is full.

@@ -481,3 +481,59 @@ func TestSweepReclaimsIdleLabels(t *testing.T) {
 		t.Errorf("idle label not reclaimed: active = %d", sw.ActiveFlows())
 	}
 }
+
+// TestSetRulesHotSwap pins the hot-swap primitive: swapping whitelists
+// between packets changes future verdicts only — flow state, labels,
+// and the blacklist all survive.
+func TestSetRulesHotSwap(t *testing.T) {
+	sw := newTestSwitch(3, time.Minute)
+
+	// Classify a small benign flow under the original rules.
+	for i := 0; i < 3; i++ {
+		p := mkPkt(1, 1000, 100, time.Duration(i)*time.Millisecond)
+		sw.ProcessPacket(&p)
+	}
+	// Blacklist another flow so survival across the swap is observable.
+	blk := mkPkt(9, 9000, 100, 0)
+	sw.InstallBlacklist(features.KeyOf(&blk))
+
+	// Swap to an empty whitelist: everything classifies malicious now.
+	empty := rules.Compile(&rules.RuleSet{Dim: features.FLDim, DefaultLabel: 1},
+		rules.NewQuantizer(make([]float64, features.FLDim), []float64{
+			1e6, 1e6, 1e6, 1e6, 1e6, 1e6, 1e6, 1e6, 1e6, 1e6, 1e6, 1e6, 1e6}, 16))
+	sw.SetRules(nil, empty)
+	if sw.Counters.RuleSwaps != 1 {
+		t.Fatalf("RuleSwaps=%d want 1", sw.Counters.RuleSwaps)
+	}
+
+	// The already-classified flow keeps its pre-swap benign label
+	// (purple path reads the label register, not the tables).
+	p := mkPkt(1, 1000, 100, 5*time.Millisecond)
+	if d := sw.ProcessPacket(&p); d.Path != PathPurple || d.Predicted != 0 {
+		t.Fatalf("pre-swap label lost: %+v", d)
+	}
+	// The blacklist survived.
+	if d := sw.ProcessPacket(&blk); d.Path != PathRed {
+		t.Fatalf("blacklist lost across swap: %+v", d)
+	}
+	// A new small flow — benign under the old rules — now classifies
+	// malicious under the swapped-in whitelist.
+	var last Decision
+	for i := 0; i < 3; i++ {
+		q := mkPkt(2, 2000, 100, time.Duration(10+i)*time.Millisecond)
+		last = sw.ProcessPacket(&q)
+	}
+	if last.Path != PathBlue || last.Predicted != 1 {
+		t.Fatalf("post-swap classification = %+v, want blue/malicious", last)
+	}
+	// Swapping PL rules to nil forwards early packets unchecked.
+	sw.SetRules(nil, empty)
+	odd := mkPkt(3, 3000, 100, 20*time.Millisecond)
+	odd.DstPort = 9999 // would fail the old PL port filter
+	if d := sw.ProcessPacket(&odd); d.Path != PathBrown || d.Predicted != 0 {
+		t.Fatalf("nil PL rules still filtering: %+v", d)
+	}
+	if sw.Counters.RuleSwaps != 2 {
+		t.Fatalf("RuleSwaps=%d want 2", sw.Counters.RuleSwaps)
+	}
+}
