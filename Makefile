@@ -1,6 +1,6 @@
 # Convenience targets for the iGuard reproduction.
 
-.PHONY: build test bench bench-parallel bench-serve eval eval-quick examples fmt vet lint fix sarif race
+.PHONY: build test bench bench-parallel bench-serve bench-rules eval eval-quick examples fmt vet lint fix sarif race
 
 build:
 	go build ./...
@@ -21,6 +21,11 @@ bench-parallel:
 # sharded ingest rate at 1/2/4/8 shards (pps metric per sub-benchmark).
 bench-serve:
 	go test -bench 'BenchmarkProcessPacket|BenchmarkServeThroughput' -benchmem -run '^$$' ./internal/serve
+
+# Whitelist matcher microbenchmarks: bit-vector index vs the linear
+# reference scan at 16/128/1024 rules, plus compile cost.
+bench-rules:
+	go test -bench 'BenchmarkMatch|BenchmarkCompile' -benchmem -run '^$$' ./internal/rules
 
 # Full-size evaluation (several minutes).
 eval:

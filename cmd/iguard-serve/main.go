@@ -28,6 +28,7 @@ import (
 
 	"iguard"
 	"iguard/internal/netpkt"
+	"iguard/internal/rules"
 	"iguard/internal/serve"
 	"iguard/internal/switchsim"
 	"iguard/internal/traffic"
@@ -70,6 +71,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fmt.Printf("serving %d shard(s); whitelist: %s\n", *shards, matcherInfo(det.CompiledRules()))
 
 	src, closer, err := openSource(*replayPath, *seed, *benignFl, *attackName, *attackFl)
 	if err != nil {
@@ -125,7 +127,7 @@ supervise:
 					fmt.Fprintln(os.Stderr, "iguard-serve: swap failed:", err)
 					continue
 				}
-				fmt.Fprintln(os.Stderr, "iguard-serve: model reloaded and hot-swapped")
+				fmt.Fprintln(os.Stderr, "iguard-serve: model reloaded and hot-swapped; whitelist:", matcherInfo(nd.CompiledRules()))
 			default:
 				fmt.Fprintf(os.Stderr, "iguard-serve: %v: draining...\n", sig)
 				cancel()
@@ -172,6 +174,14 @@ func openSource(replayPath string, seed int64, benignFl int, attackName string, 
 		return nil, nil, err
 	}
 	return serve.NewTraceSource(benign.Merge(attack).Packets), func() {}, nil
+}
+
+// matcherInfo summarises the compiled whitelist's software match path:
+// rule count, implementation (bit-vector vs linear fallback), and the
+// memory the bit-vector index trades for its constant-time lookups.
+func matcherInfo(c *rules.CompiledRuleSet) string {
+	return fmt.Sprintf("%d rules via %s index (%.1f KiB)",
+		len(c.Rules), c.MatcherKind(), float64(c.BVIndexBytes())/1024)
 }
 
 func loadModel(path string) (*iguard.Detector, error) {

@@ -26,6 +26,7 @@ import (
 	"iguard/internal/features"
 	"iguard/internal/metrics"
 	"iguard/internal/netpkt"
+	"iguard/internal/rules"
 	"iguard/internal/serve"
 	"iguard/internal/switchsim"
 	"iguard/internal/traffic"
@@ -125,11 +126,20 @@ func main() {
 	fmt.Printf("blacklist size: %d\n", st.BlacklistLen)
 	fmt.Printf("modelled per-packet latency: %v\n", st.AvgLatency)
 	fmt.Printf("\nresources (per shard): %s\n", shardUsage(det).Fractions(switchsim.Tofino1Budget()))
+	fmt.Printf("whitelist matcher: %s\n", matcherInfo(det.CompiledRules()))
 
 	if truth != nil {
 		s := metrics.Evaluate(scores[:st.Packets], preds[:st.Packets], truths[:st.Packets])
 		fmt.Printf("\nper-packet detection: macroF1=%.3f PRAUC=%.3f ROCAUC=%.3f\n", s.MacroF1, s.PRAUC, s.ROCAUC)
 	}
+}
+
+// matcherInfo summarises the compiled whitelist's software match path:
+// rule count, implementation (bit-vector vs linear fallback), and the
+// memory the bit-vector index trades for its constant-time lookups.
+func matcherInfo(c *rules.CompiledRuleSet) string {
+	return fmt.Sprintf("%d rules via %s index (%.1f KiB)",
+		len(c.Rules), c.MatcherKind(), float64(c.BVIndexBytes())/1024)
 }
 
 // shardUsage reports the resource footprint of one shard's switch —

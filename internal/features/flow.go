@@ -52,12 +52,19 @@ var PLNames = [PLDim]string{"dst_port", "proto", "length", "ttl"}
 
 // PLVector extracts the 4 packet-level features of one packet.
 func PLVector(p *netpkt.Packet) []float64 {
-	return []float64{
-		float64(p.DstPort),
-		float64(p.Proto),
-		float64(p.Length),
-		float64(p.TTL),
-	}
+	return PLVectorInto(make([]float64, PLDim), p)
+}
+
+// PLVectorInto writes the 4 packet-level features into dst, which must
+// have capacity at least PLDim, and returns dst[:PLDim]. It is the
+// allocation-free form of PLVector for per-packet hot paths.
+func PLVectorInto(dst []float64, p *netpkt.Packet) []float64 {
+	dst = dst[:PLDim]
+	dst[PLDstPort] = float64(p.DstPort)
+	dst[PLProto] = float64(p.Proto)
+	dst[PLLength] = float64(p.Length)
+	dst[PLTTL] = float64(p.TTL)
+	return dst
 }
 
 // FlowState accumulates flow-level statistics one packet at a time with
@@ -124,7 +131,18 @@ func (s *FlowState) IdleFor(now time.Time, timeout time.Duration) bool {
 
 // Vector materialises the 13 FL features from the accumulated state.
 func (s *FlowState) Vector() []float64 {
-	v := make([]float64, FLDim)
+	return s.VectorInto(make([]float64, FLDim))
+}
+
+// VectorInto materialises the 13 FL features into v, which must have
+// capacity at least FLDim, and returns v[:FLDim]. The scratch is fully
+// overwritten, so it may be dirty. It is the allocation-free form of
+// Vector for per-packet hot paths.
+func (s *FlowState) VectorInto(v []float64) []float64 {
+	v = v[:FLDim]
+	for i := range v {
+		v[i] = 0
+	}
 	if s.Count == 0 {
 		return v
 	}

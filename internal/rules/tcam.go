@@ -1,6 +1,7 @@
 package rules
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 )
@@ -57,11 +58,19 @@ func (q *Quantizer) Decode(i int, code uint64) float64 {
 
 // EncodeVector quantises a whole feature vector.
 func (q *Quantizer) EncodeVector(x []float64) []uint64 {
-	out := make([]uint64, len(x))
+	return q.EncodeVectorInto(make([]uint64, len(x)), x)
+}
+
+// EncodeVectorInto quantises x into dst, which must have capacity at
+// least len(x), and returns dst[:len(x)]. It is the allocation-free
+// form of EncodeVector for per-packet hot paths with caller-owned
+// scratch.
+func (q *Quantizer) EncodeVectorInto(dst []uint64, x []float64) []uint64 {
+	dst = dst[:len(x)]
 	for i, v := range x {
-		out[i] = q.Encode(i, v)
+		dst[i] = q.Encode(i, v)
 	}
-	return out
+	return dst
 }
 
 // IntRange is an inclusive integer range [Lo, Hi] over a quantised
@@ -179,6 +188,27 @@ type CompiledRuleSet struct {
 	TotalEntries int
 	// KeyBits is the total match-key width (Σ feature bits).
 	KeyBits int
+	// bv is the bit-vector match index built by Compile; nil (e.g. on a
+	// hand-assembled set) falls back to the linear scan.
+	bv *bvIndex
+}
+
+// BVIndexBytes reports the memory footprint of the bit-vector match
+// index in bytes, or 0 when the set matches via the linear scan.
+func (c *CompiledRuleSet) BVIndexBytes() int {
+	if c.bv == nil {
+		return 0
+	}
+	return c.bv.bytes()
+}
+
+// MatcherKind names the active match implementation: "bitvector" when
+// Compile built the constant-time index, "linear" otherwise.
+func (c *CompiledRuleSet) MatcherKind() string {
+	if c.bv == nil {
+		return "linear"
+	}
+	return "bitvector"
 }
 
 // Compile quantises the rule set under q, drops rules that vanish at
@@ -190,8 +220,13 @@ func Compile(rs *RuleSet, q *Quantizer) *CompiledRuleSet {
 	for _, b := range q.Bits {
 		out.KeyBits += b
 	}
-	// Deduplicate rules that collapse to identical integer ranges.
+	// Deduplicate rules that collapse to identical integer ranges. The
+	// key is the raw little-endian range encoding: cheap, and stable by
+	// construction rather than by fmt formatting convention. keyBuf is
+	// reused across rules; the map only copies it on insert (Go elides
+	// the string conversion for lookups).
 	seen := map[string]bool{}
+	var keyBuf []byte
 	for _, r := range rs.Rules {
 		if r.Label != 0 {
 			continue
@@ -200,14 +235,19 @@ func Compile(rs *RuleSet, q *Quantizer) *CompiledRuleSet {
 		if !ok {
 			continue
 		}
-		key := fmt.Sprint(tr.Ranges)
-		if seen[key] {
+		keyBuf = keyBuf[:0]
+		for _, rg := range tr.Ranges {
+			keyBuf = binary.LittleEndian.AppendUint64(keyBuf, rg.Lo)
+			keyBuf = binary.LittleEndian.AppendUint64(keyBuf, rg.Hi)
+		}
+		if seen[string(keyBuf)] {
 			continue
 		}
-		seen[key] = true
+		seen[string(keyBuf)] = true
 		out.Rules = append(out.Rules, tr)
 		out.TotalEntries += TCAMEntries(tr, q)
 	}
+	out.bv = buildBVIndex(out.Rules, q)
 	return out
 }
 
@@ -226,27 +266,68 @@ func (c *CompiledRuleSet) RangeKeyBits() int {
 }
 
 // Match returns 0 when the quantised x falls in any installed whitelist
-// rule, else the default (malicious) label.
+// rule, else the default (malicious) label. Vectors up to bvMaxDims
+// wide quantise into a stack buffer, so the call is allocation-free on
+// every iGuard feature space.
 func (c *CompiledRuleSet) Match(x []float64) int {
-	codes := c.Quantizer.EncodeVector(x)
-	for _, r := range c.Rules {
-		hit := true
-		for i, rg := range r.Ranges {
-			if codes[i] < rg.Lo || codes[i] > rg.Hi {
-				hit = false
+	if len(x) <= bvMaxDims {
+		var buf [bvMaxDims]uint64
+		return c.MatchCodes(c.Quantizer.EncodeVectorInto(buf[:], x))
+	}
+	return c.MatchCodes(c.Quantizer.EncodeVector(x))
+}
+
+// MatchInto is Match with caller-owned quantisation scratch (capacity
+// at least len(x)): the explicit zero-allocation form for hot paths
+// that also want the codes afterwards — scratch holds them on return.
+func (c *CompiledRuleSet) MatchInto(x []float64, scratch []uint64) int {
+	return c.MatchCodes(c.Quantizer.EncodeVectorInto(scratch, x))
+}
+
+// MatchCodes is Match over already-quantised feature codes, the form the
+// switch data plane actually sees. With the bit-vector index (built by
+// Compile) the cost is one interval lookup per feature plus a word-wise
+// AND over ceil(rules/64)-word bitmaps — no per-rule branching, the
+// software analogue of the hardware's single TCAM lookup.
+func (c *CompiledRuleSet) MatchCodes(codes []uint64) int {
+	ix := c.bv
+	if ix == nil {
+		return c.matchCodesLinear(codes)
+	}
+	var rowBuf [bvMaxDims]uint32
+	feats := ix.feats
+	rows := rowBuf[:len(feats)]
+	for i := range feats {
+		f := &feats[i]
+		if codes[i] >= f.levels {
+			// Quantised rule ranges never extend past the level count,
+			// so an out-of-domain code misses every rule.
+			return c.DefaultLabel
+		}
+		rows[i] = f.locate(codes[i])
+	}
+	words := ix.words
+	for w := 0; w < words; w++ {
+		acc := ^uint64(0)
+		for i := range feats {
+			acc &= feats[i].bitmaps[int(rows[i])*words+w]
+			if acc == 0 {
 				break
 			}
 		}
-		if hit {
+		if acc != 0 {
+			// A surviving bit is a whitelist rule covering every
+			// feature's interval.
 			return 0
 		}
 	}
 	return c.DefaultLabel
 }
 
-// MatchCodes is Match over already-quantised feature codes, the form the
-// switch data plane actually sees.
-func (c *CompiledRuleSet) MatchCodes(codes []uint64) int {
+// matchCodesLinear is the reference O(rules × features) scan, kept as
+// the fallback for hand-assembled sets and as the oracle the
+// differential tests pin the bit-vector matcher against.
+func (c *CompiledRuleSet) matchCodesLinear(codes []uint64) int {
 	for _, r := range c.Rules {
 		hit := true
 		for i, rg := range r.Ranges {

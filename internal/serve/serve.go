@@ -76,7 +76,9 @@ func ParseDropPolicy(s string) (DropPolicy, error) {
 
 // Shard is one worker's private data-plane/control-plane pair. The
 // server takes ownership: after New, only the shard's worker goroutine
-// touches the Switch.
+// touches the Switch. That exclusivity is also what makes the packet
+// hot path allocation-free here: the Switch's reusable feature-vector
+// scratch buffers are per-shard by construction, never shared.
 type Shard struct {
 	Switch     *switchsim.Switch
 	Controller *controller.Controller

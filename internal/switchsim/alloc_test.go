@@ -1,0 +1,85 @@
+package switchsim
+
+import (
+	"testing"
+	"time"
+
+	"iguard/internal/netpkt"
+)
+
+// TestProcessPacketAllocationFree pins the zero-allocation contract of
+// the packet hot path: in steady state — brown early packets, blue
+// classifications with their green recirculation, purple early
+// decisions, and orange collisions — ProcessPacket must never touch
+// the heap. A regression here is a throughput regression in every
+// serving shard, so it fails loudly rather than showing up only in
+// benchmark numbers.
+func TestProcessPacketAllocationFree(t *testing.T) {
+	t.Run("brown-steady-state", func(t *testing.T) {
+		// Threshold high enough that the flow keeps accumulating: every
+		// measured packet takes the brown path.
+		sw := newTestSwitch(1<<30, time.Hour)
+		pkts := make([]netpkt.Packet, 64)
+		for i := range pkts {
+			pkts[i] = mkPkt(1, 1000, 100, time.Duration(i)*time.Millisecond)
+		}
+		warm := mkPkt(1, 1000, 100, 0)
+		sw.ProcessPacket(&warm)
+		i := 0
+		if n := testing.AllocsPerRun(400, func() {
+			sw.ProcessPacket(&pkts[i%len(pkts)])
+			i++
+		}); n != 0 {
+			t.Errorf("brown-path allocs = %v, want 0", n)
+		}
+	})
+
+	t.Run("blue-purple-cycle", func(t *testing.T) {
+		// Threshold 2: packets alternate blue classification (digest,
+		// recirculation, label write) and purple early decisions.
+		sw := newTestSwitch(2, time.Hour)
+		pkts := make([]netpkt.Packet, 64)
+		for i := range pkts {
+			pkts[i] = mkPkt(2, 2000, 100, time.Duration(i)*time.Millisecond)
+		}
+		warm := mkPkt(2, 2000, 100, 0)
+		sw.ProcessPacket(&warm)
+		sw.ProcessPacket(&warm)
+		i := 0
+		if n := testing.AllocsPerRun(400, func() {
+			sw.ProcessPacket(&pkts[i%len(pkts)])
+			i++
+		}); n != 0 {
+			t.Errorf("blue/purple-path allocs = %v, want 0", n)
+		}
+	})
+
+	t.Run("orange-collisions", func(t *testing.T) {
+		// A 1-slot table forces every distinct flow into the same two
+		// candidate slots: constant collision pressure.
+		sw := New(Config{
+			Slots:        1,
+			PktThreshold: 1 << 30,
+			Timeout:      time.Hour,
+			PLRules:      plRulesAllowPort(),
+			FLRules:      flRulesAllowSmall(),
+		})
+		pkts := make([]netpkt.Packet, 64)
+		for i := range pkts {
+			pkts[i] = mkPkt(byte(3+i%8), uint16(3000+i%8), 100, time.Duration(i)*time.Millisecond)
+		}
+		for i := range pkts[:8] {
+			sw.ProcessPacket(&pkts[i])
+		}
+		i := 0
+		if n := testing.AllocsPerRun(400, func() {
+			sw.ProcessPacket(&pkts[i%len(pkts)])
+			i++
+		}); n != 0 {
+			t.Errorf("orange-path allocs = %v, want 0", n)
+		}
+		if sw.Counters.PathCounts[PathOrange] == 0 {
+			t.Fatal("workload never hit the orange path; the assertion is vacuous")
+		}
+	})
+}

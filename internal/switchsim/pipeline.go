@@ -61,7 +61,8 @@ type Digest struct {
 // the label bit, rounded up).
 const DigestBytes = 14
 
-// Decision reports what the pipeline did with one packet.
+// Decision reports what the pipeline did with one packet. It is a
+// plain value — comparable, and free of per-packet heap allocation.
 type Decision struct {
 	Path      Path
 	Predicted int // per-packet verdict: 0 benign, 1 malicious
@@ -69,8 +70,9 @@ type Decision struct {
 	// Recirculated is set when the packet was mirrored to the loopback
 	// port (costs one extra pipeline pass).
 	Recirculated bool
-	// Digest, when non-nil, was emitted to the controller.
-	Digest *Digest
+	// Digest was emitted to the controller when HasDigest is set.
+	Digest    Digest
+	HasDigest bool
 }
 
 // DigestSink consumes controller digests.
@@ -132,7 +134,9 @@ type slot struct {
 	state features.FlowState
 	// firstPL is the PL feature vector of the flow's first packet, kept
 	// in metadata registers for the blue-path merged-whitelist match.
-	firstPL []float64
+	// A fixed array — like the hardware registers it models — so slot
+	// (re)initialisation never touches the heap.
+	firstPL [features.PLDim]float64
 	// label is -1 while unclassified, else 0/1.
 	label int
 	// lastSeen tracks idleness after classification too (state is
@@ -188,6 +192,15 @@ type Switch struct {
 	blacklist map[features.FlowKey]bool
 	lastSweep time.Time
 	Counters  Counters
+
+	// flBuf is the FL-vector scratch the classify paths materialise
+	// flow state into — per-switch (hence per-shard under
+	// internal/serve) and safe without locking under the
+	// single-goroutine ownership contract above. It is what keeps the
+	// packet hot path free of heap allocation.
+	flBuf [features.FLDim]float64
+	// plBuf is the PL-vector scratch for stateless per-packet matches.
+	plBuf [features.PLDim]float64
 }
 
 // New builds a switch from the config.
@@ -243,14 +256,16 @@ func (sw *Switch) RemoveBlacklist(key features.FlowKey) {
 // BlacklistLen returns the current blacklist size.
 func (sw *Switch) BlacklistLen() int { return len(sw.blacklist) }
 
-// lookup finds the resident slot for key, or a free slot; when both
-// candidate slots hold other flows it returns them as collision victims.
-func (sw *Switch) lookup(key features.FlowKey) (resident *slot, free *slot, victims []*slot) {
+// lookup finds the resident slot for key, or a free slot; when
+// candidate slots hold other flows it returns them as collision
+// victims in victims[:nVictims]. The victims array is fixed-size (one
+// candidate per table) so a collision never allocates.
+func (sw *Switch) lookup(key features.FlowKey) (resident *slot, free *slot, victims [2]*slot, nVictims int) {
 	for ti := 0; ti < 2; ti++ {
 		idx := key.Index(sw.seeds[ti], sw.cfg.Slots)
 		s := &sw.tables[ti][idx]
 		if s.valid && s.key == key {
-			return s, nil, nil
+			return s, nil, victims, 0
 		}
 		if !s.valid {
 			if free == nil {
@@ -258,19 +273,21 @@ func (sw *Switch) lookup(key features.FlowKey) (resident *slot, free *slot, vict
 			}
 			continue
 		}
-		victims = append(victims, s)
+		victims[nVictims] = s
+		nVictims++
 	}
-	return nil, free, victims
+	return nil, free, victims, nVictims
 }
 
 // classifyFL runs the blue-path whitelist match over the flow state: the
 // PL features of the flow's first packet combined with the FL features.
 // The verdict is malicious when either table says so (the merged
-// whitelist of §3.3.1).
+// whitelist of §3.3.1). The FL vector materialises into the switch's
+// scratch buffer, so classification is allocation-free.
 func (sw *Switch) classifyFL(st *features.FlowState, firstPL []float64) int {
 	verdict := 0
 	if sw.cfg.FLRules != nil {
-		verdict = sw.cfg.FLRules.Match(st.Vector())
+		verdict = sw.cfg.FLRules.Match(st.VectorInto(sw.flBuf[:]))
 	}
 	if verdict == 0 && sw.cfg.PLRules != nil && firstPL != nil {
 		verdict = sw.cfg.PLRules.Match(firstPL)
@@ -283,18 +300,18 @@ func (sw *Switch) classifyPL(p *netpkt.Packet) int {
 	if sw.cfg.PLRules == nil {
 		return 0
 	}
-	return sw.cfg.PLRules.Match(features.PLVector(p))
+	return sw.cfg.PLRules.Match(features.PLVectorInto(sw.plBuf[:], p))
 }
 
 // emitDigest sends the flow verdict to the controller.
-func (sw *Switch) emitDigest(key features.FlowKey, label int) *Digest {
+func (sw *Switch) emitDigest(key features.FlowKey, label int) Digest {
 	d := Digest{Key: key, Label: label}
 	sw.Counters.Digests++
 	sw.Counters.DigestBytes += DigestBytes
 	if sw.cfg.Sink != nil {
 		sw.cfg.Sink.OnDigest(d)
 	}
-	return &d
+	return d
 }
 
 // mirrorToCPU models the egress truncated-payload mirror used to update
@@ -329,7 +346,7 @@ func (sw *Switch) ProcessPacket(p *netpkt.Packet) Decision {
 		return Decision{Path: PathRed, Predicted: 1, Dropped: true}
 	}
 
-	resident, free, victims := sw.lookup(key)
+	resident, free, victims, nVictims := sw.lookup(key)
 
 	if resident != nil {
 		// Timeout of the resident flow itself (blue path, timeout arm).
@@ -341,7 +358,7 @@ func (sw *Switch) ProcessPacket(p *netpkt.Packet) Decision {
 			// Label storage itself times out to keep slots reusable.
 			if now.Sub(resident.lastSeen) > sw.cfg.Timeout {
 				*resident = slot{}
-				return sw.admit(p, resident, now)
+				return sw.admit(p, key, resident, now)
 			}
 			resident.lastSeen = now
 			sw.Counters.PathCounts[PathPurple]++
@@ -368,19 +385,19 @@ func (sw *Switch) ProcessPacket(p *netpkt.Packet) Decision {
 	}
 
 	if free != nil {
-		return sw.admit(p, free, now)
+		return sw.admit(p, key, free, now)
 	}
 
 	// Orange path: both candidate slots occupied by other flows.
 	sw.Counters.PathCounts[PathOrange]++
 	// Timed-out victims are classified and evicted first.
-	for _, v := range victims {
+	for _, v := range victims[:nVictims] {
 		if v.label == -1 && v.state.IdleFor(now, sw.cfg.Timeout) {
 			verdict := sw.classifyFL(&v.state, v.plVec())
 			sw.emitDigest(v.key, verdict)
 			sw.Counters.Recirculated++
 			*v = slot{}
-			d := sw.admit(p, v, now)
+			d := sw.admit(p, key, v, now)
 			d.Path = PathOrange
 			d.Recirculated = true
 			return d
@@ -389,12 +406,12 @@ func (sw *Switch) ProcessPacket(p *netpkt.Packet) Decision {
 	// A classified victim (label 0/1) is evicted: clear and re-init with
 	// the incoming packet, mirror to loopback to initialise the flow ID
 	// (green path), match PL features for the packet's own verdict.
-	for _, v := range victims {
+	for _, v := range victims[:nVictims] {
 		if v.label >= 0 {
 			*v = slot{}
 			sw.Counters.Recirculated++
 			sw.Counters.PathCounts[PathGreen]++
-			d := sw.admit(p, v, now)
+			d := sw.admit(p, key, v, now)
 			d.Path = PathOrange
 			d.Recirculated = true
 			return d
@@ -412,17 +429,18 @@ func (sw *Switch) ProcessPacket(p *netpkt.Packet) Decision {
 }
 
 // plVec returns the PL vector of the slot's first packet.
-func (s *slot) plVec() []float64 { return s.firstPL }
+func (s *slot) plVec() []float64 { return s.firstPL[:] }
 
 // admit initialises a slot with the packet's flow and runs the
-// brown-path PL match (or blue when n == 1).
-func (sw *Switch) admit(p *netpkt.Packet, s *slot, now time.Time) Decision {
-	key := features.KeyOf(p).Canonical()
+// brown-path PL match (or blue when n == 1). key is the packet's
+// canonical flow key, computed once by ProcessPacket and threaded
+// through rather than re-derived per admission.
+func (sw *Switch) admit(p *netpkt.Packet, key features.FlowKey, s *slot, now time.Time) Decision {
 	s.valid = true
 	s.key = key
 	s.label = -1
 	s.state = features.FlowState{}
-	s.firstPL = features.PLVector(p)
+	features.PLVectorInto(s.firstPL[:], p)
 	s.state.Add(p)
 	s.lastSeen = now
 	if s.state.Count >= sw.cfg.PktThreshold {
@@ -443,7 +461,7 @@ func (sw *Switch) admit(p *netpkt.Packet, s *slot, now time.Time) Decision {
 // to the CPU for whitelist updates.
 func (sw *Switch) bluePath(s *slot, p *netpkt.Packet, timedOut bool) Decision {
 	sw.Counters.PathCounts[PathBlue]++
-	verdict := sw.classifyFL(&s.state, s.firstPL)
+	verdict := sw.classifyFL(&s.state, s.plVec())
 	digest := sw.emitDigest(s.key, verdict)
 
 	// Loopback mirror updates the flow-label register (green path).
@@ -461,7 +479,7 @@ func (sw *Switch) bluePath(s *slot, p *netpkt.Packet, timedOut bool) Decision {
 		pktVerdict = sw.classifyPL(p)
 		s.label = -1
 		s.state.Add(p)
-		s.firstPL = features.PLVector(p)
+		features.PLVectorInto(s.firstPL[:], p)
 		// The flow's verdict still stands via the digest.
 		if verdict == 1 {
 			pktVerdict = 1
@@ -474,7 +492,7 @@ func (sw *Switch) bluePath(s *slot, p *netpkt.Packet, timedOut bool) Decision {
 	if dropped {
 		sw.Counters.Drops++
 	}
-	return Decision{Path: PathBlue, Predicted: pktVerdict, Dropped: dropped, Recirculated: true, Digest: digest}
+	return Decision{Path: PathBlue, Predicted: pktVerdict, Dropped: dropped, Recirculated: true, Digest: digest, HasDigest: true}
 }
 
 // SweepTimeouts runs the control-plane timeout sweep at the given trace
@@ -491,7 +509,7 @@ func (sw *Switch) SweepTimeouts(now time.Time) {
 			}
 			switch {
 			case s.label == -1 && s.state.IdleFor(now, sw.cfg.Timeout):
-				verdict := sw.classifyFL(&s.state, s.firstPL)
+				verdict := sw.classifyFL(&s.state, s.plVec())
 				sw.emitDigest(s.key, verdict)
 				sw.Counters.Recirculated++
 				*s = slot{}

@@ -85,7 +85,7 @@ func TestBrownThenBluePath(t *testing.T) {
 	if decisions[2].Predicted != 0 {
 		t.Errorf("benign flow predicted %d", decisions[2].Predicted)
 	}
-	if decisions[2].Digest == nil {
+	if !decisions[2].HasDigest {
 		t.Error("blue path must emit a digest")
 	}
 	if !decisions[2].Recirculated {
@@ -188,7 +188,7 @@ func TestTimeoutBluePath(t *testing.T) {
 	if d.Path != PathBlue {
 		t.Fatalf("timeout path = %v, want blue", d.Path)
 	}
-	if d.Digest == nil {
+	if !d.HasDigest {
 		t.Error("timeout must digest")
 	}
 	// The flow restarts accumulating with p3.
