@@ -1,6 +1,6 @@
 # Convenience targets for the iGuard reproduction.
 
-.PHONY: build test bench bench-parallel bench-serve bench-rules eval eval-quick examples fmt vet lint fix sarif race
+.PHONY: build test bench bench-parallel bench-serve bench-rules eval eval-quick examples fmt vet vet-hotpath lint fix sarif race
 
 build:
 	go build ./...
@@ -46,6 +46,12 @@ fmt:
 
 vet:
 	go vet ./...
+
+# Interprocedural hot-path gate alone: allocation-freedom of every
+# //iguard:hotpath call tree plus shard-ownership of //iguard:ownedby
+# state. Faster than the full suite when iterating on the data plane.
+vet-hotpath:
+	go run ./cmd/iguard-vet -only hotpath,shardown ./...
 
 # Full static gate: build, go vet, gofmt (fail on unformatted files),
 # and the project's own iguard-vet analyzers.

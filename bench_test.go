@@ -13,6 +13,7 @@ package iguard
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"iguard/internal/analysis"
 	"iguard/internal/experiments"
@@ -342,6 +343,30 @@ func BenchmarkVet(b *testing.B) {
 		if len(diags) != 0 {
 			b.Fatalf("tree not clean: %d findings", len(diags))
 		}
+	}
+}
+
+// TestVetWallClockBudget guards the lint gate's latency: the full
+// suite — including the interprocedural hotpath/shardown walks — must
+// stay within 2× of the pre-interprocedural baseline (1.5 s/op on the
+// reference box). The absolute ceiling is set loose (8 s) so slower CI
+// hardware doesn't flake, while a superlinear regression in the call-
+// graph walks (the failure mode the budget exists to catch) still
+// trips it.
+func TestVetWallClockBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module vet run; skipped with -short")
+	}
+	start := time.Now()
+	diags, err := analysis.Run(".", []string{"./..."}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("tree not clean: %d findings", len(diags))
+	}
+	if elapsed := time.Since(start); elapsed > 8*time.Second {
+		t.Errorf("full vet run took %v, budget 8s (2× the 1.5s baseline plus hardware headroom)", elapsed)
 	}
 }
 

@@ -63,7 +63,7 @@ type Analyzer struct {
 // directive hygiene check.
 func All() []*Analyzer {
 	return []*Analyzer{Determinism, ErrCheck, FloatCompare, PrintCheck,
-		Deadstore, Lockcheck, Seedflow, Suppress}
+		Deadstore, Lockcheck, Seedflow, Hotpath, Shardown, Suppress}
 }
 
 // Pass hands one package to one analyzer and collects its findings.
@@ -107,7 +107,7 @@ func (p *Pass) ReportFix(pos token.Pos, fixes []SuggestedFix, format string, arg
 // matches when the queried analyzer is among them.
 func (p *Pass) Suppressed(pos token.Pos, directive string) bool {
 	position := p.Pkg.Fset.Position(pos)
-	lines := p.Pkg.directives[position.Filename]
+	lines := p.directiveLines(position.Filename)
 	for _, d := range lines[position.Line] {
 		if directiveMatches(d, directive) {
 			return true
@@ -119,6 +119,34 @@ func (p *Pass) Suppressed(pos token.Pos, directive string) bool {
 		}
 	}
 	return false
+}
+
+// directiveLines finds the directive table for a file, searching the
+// analyzed package first and then its module-local dependency closure —
+// interprocedural analyzers (hotpath) report findings positioned in
+// dependency files, and an //iguard:allow there must still be honoured.
+func (p *Pass) directiveLines(filename string) map[int][]string {
+	if lines, ok := p.Pkg.directives[filename]; ok {
+		return lines
+	}
+	seen := map[*Package]bool{p.Pkg: true}
+	queue := []*Package{p.Pkg}
+	for len(queue) > 0 {
+		pkg := queue[0]
+		queue = queue[1:]
+		for _, path := range sortedKeys(pkg.Deps) {
+			dep := pkg.Deps[path]
+			if dep == nil || seen[dep] {
+				continue
+			}
+			seen[dep] = true
+			if lines, ok := dep.directives[filename]; ok {
+				return lines
+			}
+			queue = append(queue, dep)
+		}
+	}
+	return nil
 }
 
 // directiveMatches reports whether the directive d satisfies the query

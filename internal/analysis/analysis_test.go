@@ -83,7 +83,8 @@ func wantMarkers(t *testing.T, pkg *Package) map[string]map[string]int {
 // compares findings against the want: markers, both directions.
 func TestFixtures(t *testing.T) {
 	for _, name := range []string{"determbad", "errbad", "floatbad", "printbad",
-		"seedbad", "lockbad", "deadbad", "suppressbad", "clean"} {
+		"seedbad", "lockbad", "deadbad", "suppressbad", "hotbad", "hotclean",
+		"ownbad", "ownclean", "clean"} {
 		t.Run(name, func(t *testing.T) {
 			pkg := loadFixture(t, name)
 			want := wantMarkers(t, pkg)

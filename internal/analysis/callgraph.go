@@ -1,0 +1,329 @@
+// Package-level call graph over the loader's packages. The graph is
+// the substrate of the interprocedural analyzers (hotpath, shardown):
+// it indexes every function declaration of a root package and its
+// transitive module-local dependencies — all sharing one
+// token.FileSet, so a chain that crosses package boundaries still
+// renders positions — and classifies call sites into static edges
+// (named functions, methods, method expressions), dynamic edges
+// (interface dispatch, function values), builtins, conversions, and
+// function literals.
+//
+// Soundness limits, by construction: dynamic dispatch resolves to the
+// interface method, not to implementations; calls made through
+// reflect, assembly, or linkname are invisible; a method value that
+// escapes may run on any goroutine even though SyncReachable treats
+// its body as same-goroutine. DESIGN.md §7.2 discusses the
+// consequences for each analyzer.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FuncNode is one function whose declaration (and body) the graph
+// knows: a FuncDecl of the root package or of a module-local
+// dependency.
+type FuncNode struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// HasDirective reports whether the function's doc comment carries the
+// named //iguard: directive (e.g. "hotpath", "coldpath").
+func (n *FuncNode) HasDirective(name string) bool {
+	return hasFuncDirective(n.Decl, name)
+}
+
+// hasFuncDirective scans a declaration's doc comment for a directive.
+func hasFuncDirective(decl *ast.FuncDecl, name string) bool {
+	if decl == nil || decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if d, ok := directiveOf(c); ok && d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDirectiveArg returns the argument of a parenthesised directive
+// ("owner(shard)" → "shard") on the declaration's doc comment.
+func funcDirectiveArg(decl *ast.FuncDecl, name string) (string, bool) {
+	if decl == nil || decl.Doc == nil {
+		return "", false
+	}
+	for _, c := range decl.Doc.List {
+		if d, ok := directiveOf(c); ok {
+			if arg, ok := directiveArg(d, name); ok {
+				return arg, true
+			}
+		}
+	}
+	return "", false
+}
+
+// directiveArg parses "name(arg)" into arg. ok is false for a missing
+// or empty argument.
+func directiveArg(d, name string) (string, bool) {
+	rest, ok := strings.CutPrefix(d, name+"(")
+	if !ok || !strings.HasSuffix(rest, ")") {
+		return "", false
+	}
+	arg := strings.TrimSpace(strings.TrimSuffix(rest, ")"))
+	return arg, arg != ""
+}
+
+// CallGraph indexes the function declarations reachable from a root
+// package through module-local imports.
+type CallGraph struct {
+	root  *Package
+	nodes map[*types.Func]*FuncNode
+	// Pkgs lists the root and its transitive module-local dependencies
+	// in a deterministic (preorder, import-path sorted) order.
+	Pkgs []*Package
+}
+
+// BuildCallGraph indexes root and every module-local package it
+// transitively imports.
+func BuildCallGraph(root *Package) *CallGraph {
+	g := &CallGraph{root: root, nodes: map[*types.Func]*FuncNode{}}
+	seen := map[string]bool{}
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if p == nil || seen[p.ImportPath] {
+			return
+		}
+		seen[p.ImportPath] = true
+		g.Pkgs = append(g.Pkgs, p)
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					g.nodes[obj] = &FuncNode{Obj: obj, Decl: fd, Pkg: p}
+				}
+			}
+		}
+		for _, path := range sortedKeys(p.Deps) {
+			visit(p.Deps[path])
+		}
+	}
+	visit(root)
+	return g
+}
+
+// NodeOf returns the graph node for fn, or nil when fn's body is not
+// in a loaded module package (standard library, interface methods).
+func (g *CallGraph) NodeOf(fn *types.Func) *FuncNode {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[fn]
+}
+
+// TargetKind classifies what a call expression invokes.
+type TargetKind int
+
+// The call-site classifications.
+const (
+	// TargetUnknown is a callee the resolver cannot classify.
+	TargetUnknown TargetKind = iota
+	// TargetStatic is a direct call of a named function, method, or
+	// method expression; Callee is set (its body may still be outside
+	// the module — consult NodeOf).
+	TargetStatic
+	// TargetInterface is dynamic dispatch through an interface method;
+	// Callee is the interface method, not an implementation.
+	TargetInterface
+	// TargetFuncValue is a call through a function-typed variable,
+	// field, or parameter.
+	TargetFuncValue
+	// TargetBuiltin is a predeclared builtin; Builtin is its name.
+	TargetBuiltin
+	// TargetConversion is a type conversion, not a call.
+	TargetConversion
+	// TargetFuncLit is an immediately invoked function literal; Lit is
+	// the literal.
+	TargetFuncLit
+)
+
+// Target is one resolved call site.
+type Target struct {
+	Kind    TargetKind
+	Callee  *types.Func
+	Builtin string
+	Lit     *ast.FuncLit
+}
+
+// ResolveCall classifies one call expression of pkg. pkg must be the
+// package whose Info covers the expression (the graph root or one of
+// its dependencies).
+func (g *CallGraph) ResolveCall(pkg *Package, call *ast.CallExpr) Target {
+	fun := ast.Unparen(call.Fun)
+	// Unwrap generic instantiations f[T](…); a map/slice index of a
+	// function-typed element lands on the container variable, which
+	// classifies as a function value just the same.
+	for {
+		if ix, ok := fun.(*ast.IndexExpr); ok {
+			fun = ast.Unparen(ix.X)
+			continue
+		}
+		if ix, ok := fun.(*ast.IndexListExpr); ok {
+			fun = ast.Unparen(ix.X)
+			continue
+		}
+		break
+	}
+	if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() {
+		return Target{Kind: TargetConversion}
+	}
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[fn].(type) {
+		case *types.Builtin:
+			return Target{Kind: TargetBuiltin, Builtin: obj.Name()}
+		case *types.Func:
+			return Target{Kind: TargetStatic, Callee: obj}
+		case *types.Var:
+			return Target{Kind: TargetFuncValue}
+		}
+		return Target{Kind: TargetUnknown}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fn]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				callee, _ := sel.Obj().(*types.Func)
+				if sel.Kind() == types.MethodVal && types.IsInterface(sel.Recv()) {
+					return Target{Kind: TargetInterface, Callee: callee}
+				}
+				return Target{Kind: TargetStatic, Callee: callee}
+			case types.FieldVal:
+				return Target{Kind: TargetFuncValue}
+			}
+			return Target{Kind: TargetUnknown}
+		}
+		// No selection: a package-qualified name (pkg.Fn or pkg.Var).
+		switch obj := pkg.Info.Uses[fn.Sel].(type) {
+		case *types.Func:
+			return Target{Kind: TargetStatic, Callee: obj}
+		case *types.Var:
+			return Target{Kind: TargetFuncValue}
+		}
+		return Target{Kind: TargetUnknown}
+	case *ast.FuncLit:
+		return Target{Kind: TargetFuncLit, Lit: fn}
+	}
+	return Target{Kind: TargetUnknown}
+}
+
+// ReachSet is the result of a reachability query: the functions whose
+// declarations are reachable, plus the function literals whose bodies
+// were traversed on the same goroutine.
+type ReachSet struct {
+	Funcs map[*types.Func]bool
+	Lits  map[*ast.FuncLit]bool
+}
+
+// Contains reports whether fn is in the set.
+func (r *ReachSet) Contains(fn *types.Func) bool { return r.Funcs[fn] }
+
+// SyncReachable computes the functions reachable from the roots
+// through same-goroutine edges: direct calls, deferred calls, method
+// expressions, method values (conservatively assumed to be invoked on
+// the same goroutine), and function literals — except bodies spawned
+// by a go statement, which start a new goroutine and are therefore
+// excluded. Interface dispatch and function values contribute no
+// edges (their implementations are unknown); recursion and mutual
+// recursion terminate through the visited set.
+func (g *CallGraph) SyncReachable(roots []*FuncNode) *ReachSet {
+	out := &ReachSet{Funcs: map[*types.Func]bool{}, Lits: map[*ast.FuncLit]bool{}}
+	var queue []*FuncNode
+	for _, r := range roots {
+		if r != nil && !out.Funcs[r.Obj] {
+			out.Funcs[r.Obj] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.Decl.Body == nil {
+			continue
+		}
+		g.syncWalk(n.Pkg, n.Decl.Body, out, &queue)
+	}
+	return out
+}
+
+// syncWalk adds the same-goroutine edges found in one body to the
+// reach set, queueing newly reached module functions.
+func (g *CallGraph) syncWalk(pkg *Package, body ast.Node, out *ReachSet, queue *[]*FuncNode) {
+	// Function literals launched by a go statement run on a fresh
+	// goroutine: their bodies are excluded (the spawn's arguments are
+	// still evaluated here and remain included).
+	spawnedLits := map[*ast.FuncLit]bool{}
+	spawnedCalls := map[*ast.CallExpr]bool{}
+	spawnedFuns := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			spawnedCalls[gs.Call] = true
+			fun := ast.Unparen(gs.Call.Fun)
+			spawnedFuns[fun] = true
+			if lit, ok := fun.(*ast.FuncLit); ok {
+				spawnedLits[lit] = true
+			}
+		}
+		return true
+	})
+	enqueue := func(fn *types.Func) {
+		if fn == nil || out.Funcs[fn] {
+			return
+		}
+		node := g.NodeOf(fn)
+		if node == nil {
+			return
+		}
+		out.Funcs[fn] = true
+		*queue = append(*queue, node)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if spawnedLits[n] {
+				return false
+			}
+			out.Lits[n] = true
+			return true
+		case *ast.CallExpr:
+			if spawnedCalls[n] {
+				// A spawned call contributes no same-goroutine edge; its
+				// arguments (visited below) still do.
+				return true
+			}
+			if t := g.ResolveCall(pkg, n); t.Kind == TargetStatic {
+				enqueue(t.Callee)
+			}
+		case *ast.SelectorExpr:
+			// Method values and method expressions may be invoked later;
+			// treat them as same-goroutine edges (conservative — see the
+			// package comment for the escape caveat) unless a go statement
+			// is what invokes them.
+			if spawnedFuns[n] {
+				return true
+			}
+			if sel, ok := pkg.Info.Selections[n]; ok && sel.Kind() != types.FieldVal {
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					enqueue(fn)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// findCall returns the first call expression inside the named function
+// whose rendered callee text contains want.
+func findCall(t *testing.T, p *Pass, fn, want string) *ast.CallExpr {
+	t.Helper()
+	var out *ast.CallExpr
+	ast.Inspect(funcBody(t, p, fn), func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || out != nil {
+			return true
+		}
+		fun := ast.Unparen(call.Fun)
+		if ix, ok := fun.(*ast.IndexExpr); ok {
+			fun = ast.Unparen(ix.X)
+		}
+		var name string
+		switch f := fun.(type) {
+		case *ast.Ident:
+			name = f.Name
+		case *ast.SelectorExpr:
+			name = f.Sel.Name
+		}
+		if name == want {
+			out = call
+		}
+		return true
+	})
+	if out == nil {
+		t.Fatalf("no call of %q in %s", want, fn)
+	}
+	return out
+}
+
+func TestResolveCallKinds(t *testing.T) {
+	p := loadSnippet(t, `package snippet
+
+type doer interface{ Do() }
+
+type impl struct{ n int }
+
+func (i *impl) Do() { i.n++ }
+
+func named() {}
+
+func Driver(d doer, i *impl, fv func()) {
+	named()
+	i.Do()
+	d.Do()
+	fv()
+	_ = make([]int, 1)
+	_ = int64(3)
+	func() {}()
+	g := generic[int]
+	g(1)
+	generic[int](2)
+}
+
+func generic[T any](v T) {}
+`)
+	g := BuildCallGraph(p.Pkg)
+	cases := []struct {
+		callee string
+		kind   TargetKind
+	}{
+		{"named", TargetStatic},
+		{"Do", TargetStatic}, // resolved via i.Do() first in source order
+		{"make", TargetBuiltin},
+		{"int64", TargetConversion},
+		{"generic", TargetStatic}, // instantiated generic unwraps to its origin
+	}
+	for _, c := range cases {
+		call := findCall(t, p, "Driver", c.callee)
+		got := g.ResolveCall(p.Pkg, call)
+		if got.Kind != c.kind {
+			t.Errorf("ResolveCall(%s) kind = %v, want %v", c.callee, got.Kind, c.kind)
+		}
+	}
+	// The interface dispatch resolves to the interface method, with the
+	// callee recorded.
+	var dCalls []*ast.CallExpr
+	ast.Inspect(funcBody(t, p, "Driver"), func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Do" {
+				dCalls = append(dCalls, call)
+			}
+		}
+		return true
+	})
+	if len(dCalls) != 2 {
+		t.Fatalf("found %d Do() calls, want 2", len(dCalls))
+	}
+	if got := g.ResolveCall(p.Pkg, dCalls[0]); got.Kind != TargetStatic {
+		t.Errorf("concrete method call kind = %v, want static", got.Kind)
+	}
+	ifaceTarget := g.ResolveCall(p.Pkg, dCalls[1])
+	if ifaceTarget.Kind != TargetInterface {
+		t.Errorf("interface dispatch kind = %v, want interface", ifaceTarget.Kind)
+	}
+	if ifaceTarget.Callee == nil || ifaceTarget.Callee.Name() != "Do" {
+		t.Errorf("interface dispatch callee = %v, want the interface method Do", ifaceTarget.Callee)
+	}
+	fvCall := findCall(t, p, "Driver", "fv")
+	if got := g.ResolveCall(p.Pkg, fvCall); got.Kind != TargetFuncValue {
+		t.Errorf("func-value call kind = %v, want funcvalue", got.Kind)
+	}
+}
+
+// reachNames runs SyncReachable from one root and returns the reached
+// function names.
+func reachNames(t *testing.T, p *Pass, root string) map[string]bool {
+	t.Helper()
+	g := BuildCallGraph(p.Pkg)
+	var rootNode *FuncNode
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == root {
+				obj, _ := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+				rootNode = g.NodeOf(obj)
+			}
+		}
+	}
+	if rootNode == nil {
+		t.Fatalf("root %s not found", root)
+	}
+	reach := g.SyncReachable([]*FuncNode{rootNode})
+	names := map[string]bool{}
+	for fn := range reach.Funcs {
+		names[fn.Name()] = true
+	}
+	return names
+}
+
+func TestSyncReachableRecursionAndSpawn(t *testing.T) {
+	p := loadSnippet(t, `package snippet
+
+type w struct{ n int }
+
+func (x *w) hop() { x.n++ }
+
+func Root(x *w) {
+	direct()
+	stepA(3)
+	go spawned()
+	go func() { hidden() }()
+	f := x.hop
+	f()
+	func() { inLit() }()
+}
+
+func direct()  { direct() } // self-recursion must terminate
+func stepA(d int) {
+	if d > 0 {
+		stepB(d - 1)
+	}
+}
+func stepB(d int) { stepA(d) } // mutual recursion must terminate
+func spawned()    {}
+func hidden()     {}
+func inLit()      {}
+`)
+	names := reachNames(t, p, "Root")
+	for _, want := range []string{"Root", "direct", "stepA", "stepB", "hop", "inLit"} {
+		if !names[want] {
+			t.Errorf("%s not reached; got %v", want, names)
+		}
+	}
+	for _, skip := range []string{"spawned", "hidden"} {
+		if names[skip] {
+			t.Errorf("%s reached despite go-spawn; got %v", skip, names)
+		}
+	}
+}

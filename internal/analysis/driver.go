@@ -50,6 +50,7 @@ func Execute(args []string, stdout, stderr io.Writer) int {
 	for _, a := range All() {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
 	}
+	only := fs.String("only", "", "comma-separated list of analyzers to run, disabling the rest")
 	fs.Usage = func() {
 		if _, err := io.WriteString(stderr, "usage: iguard-vet [flags] [packages]\n\nAnalyzers run over the packages (default ./...); findings exit 1.\n\n"); err != nil {
 			return
@@ -61,6 +62,23 @@ func Execute(args []string, stdout, stderr io.Writer) int {
 	}
 	if *jsonOut && *sarifOut {
 		return fail(errors.New("-json and -sarif are mutually exclusive"))
+	}
+	if *only != "" {
+		listed := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, ok := enabled[name]; !ok {
+				return fail(fmt.Errorf("-only: no analyzer named %q", name))
+			}
+			listed[name] = true
+		}
+		//iguard:sorted flag assignment; order cannot escape
+		for name, on := range enabled {
+			*on = listed[name]
+		}
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {

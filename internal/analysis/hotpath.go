@@ -1,0 +1,612 @@
+// The hotpath analyzer: interprocedural enforcement of the
+// allocation-free contract on the packet hot path. PR 5 pinned
+// ProcessPacket at 0 allocs/op with runtime testing.AllocsPerRun
+// tests; those catch regressions only on the paths the tests happen to
+// exercise, and only after the fact. This analyzer proves the property
+// over every path at vet time: a function annotated //iguard:hotpath
+// must be allocation-free, and so must everything it reaches through
+// the call graph, up to a bounded inlining depth and explicit
+// //iguard:coldpath cut points.
+//
+// Trust model. An annotated //iguard:hotpath callee is a verified
+// boundary: it is checked as its own root (in its own package), so the
+// caller's traversal stops there. An //iguard:coldpath callee is an
+// audited exemption: the function is declared outside the hot-path
+// allocation contract — either it runs rarely (per flow, per control
+// action, not per packet) or it is an intentional observer boundary —
+// and the directive's reason text says which. Everything else with a
+// body in the module is inlined and checked; calls whose body the
+// analyzer cannot see (standard library outside a small allowlist,
+// interface dispatch, function values) are findings.
+
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Hotpath is the interprocedural allocation-freedom analyzer.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc: "functions marked //iguard:hotpath, and their call trees up to " +
+		"//iguard:coldpath cut points, must be allocation-free",
+	LibraryOnly: false,
+	Run:         runHotpath,
+}
+
+// maxHotpathDepth bounds the inlining depth from an annotated root.
+// The real packet path is ~5 deep (ProcessPacket → bluePath →
+// classifyFL → VectorInto → math.Sqrt); a chain this long is a design
+// smell, and the bound keeps traversal linear in practice.
+const maxHotpathDepth = 12
+
+func runHotpath(p *Pass) {
+	var g *CallGraph
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasFuncDirective(fd, "hotpath") {
+				continue
+			}
+			obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if g == nil {
+				g = BuildCallGraph(p.Pkg)
+			}
+			h := &hotChecker{p: p, g: g, visited: map[*types.Func]bool{obj: true}}
+			h.chain = []hotStep{{name: fd.Name.Name, pos: fd.Pos()}}
+			h.checkBody(g.NodeOf(obj))
+		}
+	}
+}
+
+// hotStep is one link of the root→sink call chain.
+type hotStep struct {
+	name string
+	pos  token.Pos
+}
+
+// hotChecker carries the traversal state for one annotated root.
+type hotChecker struct {
+	p       *Pass
+	g       *CallGraph
+	visited map[*types.Func]bool
+	chain   []hotStep
+}
+
+// chainString renders the call chain from the annotated root, seedflow
+// style: "ProcessPacket (pipeline.go:327) → classifyPL (pipeline.go:299)".
+func (h *hotChecker) chainString() string {
+	var b strings.Builder
+	for i, s := range h.chain {
+		if i > 0 {
+			b.WriteString(" → ")
+		}
+		fmt.Fprintf(&b, "%s (%s)", s.name, h.p.shortPos(s.pos))
+	}
+	return b.String()
+}
+
+func (h *hotChecker) report(pos token.Pos, format string, args ...any) {
+	h.reportFix(pos, nil, format, args...)
+}
+
+func (h *hotChecker) reportFix(pos token.Pos, fixes []SuggestedFix, format string, args ...any) {
+	h.p.ReportFix(pos, fixes, "%s; hot chain: %s", fmt.Sprintf(format, args...), h.chainString())
+}
+
+// checkBody walks one function body in hot context.
+func (h *hotChecker) checkBody(n *FuncNode) {
+	if n == nil || n.Decl.Body == nil {
+		return
+	}
+	hoists := h.hoistFixes(n)
+	sig, _ := n.Obj.Type().(*types.Signature)
+	// Selector nodes consumed as a call's callee: the method-value check
+	// below must not fire on them.
+	calleeSels := map[ast.Node]bool{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			h.report(node.Pos(), "function literal allocates a closure")
+			return false
+		case *ast.GoStmt:
+			h.report(node.Pos(), "go statement spawns a goroutine (stack allocation)")
+			return false
+		case *ast.CallExpr:
+			return h.checkCall(n, node, calleeSels, hoists)
+		case *ast.SelectorExpr:
+			if calleeSels[node] {
+				return true
+			}
+			if sel, ok := n.Pkg.Info.Selections[node]; ok && sel.Kind() == types.MethodVal {
+				h.report(node.Pos(), "method value %s allocates a closure binding its receiver", node.Sel.Name)
+			}
+		case *ast.CompositeLit:
+			switch n.Pkg.Info.TypeOf(node).Underlying().(type) {
+			case *types.Slice:
+				h.report(node.Pos(), "slice literal allocates")
+			case *types.Map:
+				h.report(node.Pos(), "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if _, ok := ast.Unparen(node.X).(*ast.CompositeLit); ok {
+					h.report(node.Pos(), "address of composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD && isStringType(n.Pkg.Info.TypeOf(node)) {
+				h.report(node.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			h.checkAssign(n, node)
+		case *ast.ReturnStmt:
+			// FuncLit bodies are never descended into (the literal itself
+			// is the finding), so returns here always belong to n.
+			if sig != nil && sig.Results().Len() == len(node.Results) {
+				for i, r := range node.Results {
+					h.checkBox(n, r, sig.Results().At(i).Type(), "return value")
+				}
+			}
+		case *ast.IncDecStmt:
+			if isMapIndex(n.Pkg, node.X) {
+				h.report(node.Pos(), "map write may allocate (bucket growth)")
+			}
+		case *ast.DeclStmt:
+			h.checkDeclStmt(n, node)
+		}
+		return true
+	})
+}
+
+// checkCall classifies one call site; the returned bool tells the
+// walker whether to descend into the call's children.
+func (h *hotChecker) checkCall(n *FuncNode, call *ast.CallExpr, calleeSels map[ast.Node]bool, hoists map[*ast.CallExpr]*SuggestedFix) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		calleeSels[sel] = true
+	}
+	t := h.g.ResolveCall(n.Pkg, call)
+	switch t.Kind {
+	case TargetConversion:
+		h.checkConversion(n.Pkg, call)
+	case TargetBuiltin:
+		return h.checkBuiltin(n, call, t.Builtin, hoists)
+	case TargetFuncLit:
+		// The literal itself is reported by the FuncLit case.
+	case TargetInterface:
+		h.report(call.Pos(), "dynamic dispatch through interface method %s is not proven allocation-free", calleeName(t.Callee))
+	case TargetFuncValue:
+		h.report(call.Pos(), "call through a function value is not proven allocation-free")
+	case TargetUnknown:
+		h.report(call.Pos(), "cannot resolve the callee; not proven allocation-free")
+	case TargetStatic:
+		h.checkStatic(n, call, t.Callee)
+	}
+	return true
+}
+
+// checkStatic handles a resolved direct call: trust annotated
+// boundaries, inline module callees, allowlist the few standard
+// functions known not to allocate, and flag the rest.
+func (h *hotChecker) checkStatic(n *FuncNode, call *ast.CallExpr, callee *types.Func) {
+	h.checkCallSiteArgs(n, call, callee)
+	if node := h.g.NodeOf(callee); node != nil {
+		if node.HasDirective("coldpath") || node.HasDirective("hotpath") {
+			// coldpath: audited exemption; hotpath: verified at its own root.
+			return
+		}
+		if h.visited[callee] {
+			return
+		}
+		if len(h.chain) >= maxHotpathDepth {
+			h.report(call.Pos(), "call chain exceeds the hot-path inlining depth (%d); annotate %s with //iguard:hotpath or //iguard:coldpath", maxHotpathDepth, callee.Name())
+			return
+		}
+		h.visited[callee] = true
+		h.chain = append(h.chain, hotStep{name: callee.Name(), pos: call.Pos()})
+		h.checkBody(node)
+		h.chain = h.chain[:len(h.chain)-1]
+		return
+	}
+	if hotpathAllowedStd(callee) {
+		return
+	}
+	h.report(call.Pos(), "call into %s is not proven allocation-free", calleeName(callee))
+}
+
+// checkCallSiteArgs flags implicit interface boxing of arguments and
+// the slice a variadic call materialises — allocations that happen at
+// the call site, in the hot function, whatever the callee does.
+func (h *hotChecker) checkCallSiteArgs(n *FuncNode, call *ast.CallExpr, callee *types.Func) {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	np := params.Len()
+	for i, arg := range call.Args {
+		var paramT types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // xs... passes the existing slice as-is
+			}
+			if s, ok := params.At(np - 1).Type().(*types.Slice); ok {
+				paramT = s.Elem()
+			}
+		case i < np:
+			paramT = params.At(i).Type()
+		}
+		h.checkBox(n, arg, paramT, "argument")
+	}
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) > np-1 {
+		h.report(call.Pos(), "variadic call to %s allocates its argument slice", calleeName(callee))
+	}
+}
+
+// checkBox reports a concrete non-pointer-shaped value converted to an
+// interface — the implicit boxing allocation.
+func (h *hotChecker) checkBox(n *FuncNode, e ast.Expr, dst types.Type, what string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	src := n.Pkg.Info.TypeOf(e)
+	if src == nil || types.IsInterface(src) || !boxAllocates(src) {
+		return
+	}
+	h.report(e.Pos(), "%s of type %s boxes into interface %s (heap allocation)", what, src, dst)
+}
+
+// boxAllocates reports whether storing a value of this concrete type
+// in an interface heap-allocates. Pointer-shaped values (pointers,
+// channels, maps, functions, unsafe pointers) fit in the interface
+// data word directly.
+func boxAllocates(src types.Type) bool {
+	switch u := src.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil && u.Kind() != types.UnsafePointer
+	}
+	return true
+}
+
+// checkBuiltin handles predeclared builtins; the returned bool tells
+// the walker whether to descend into the arguments.
+func (h *hotChecker) checkBuiltin(n *FuncNode, call *ast.CallExpr, name string, hoists map[*ast.CallExpr]*SuggestedFix) bool {
+	switch name {
+	case "make":
+		if fix, ok := hoists[call]; ok {
+			h.reportFix(call.Pos(), []SuggestedFix{*fix}, "make inside a loop allocates every iteration (arguments are loop-invariant: hoistable)")
+		} else {
+			h.report(call.Pos(), "make allocates")
+		}
+	case "new":
+		h.report(call.Pos(), "new allocates")
+	case "append":
+		h.report(call.Pos(), "append may allocate when it grows past the caller-provided capacity; size the scratch up front")
+	case "print", "println":
+		h.report(call.Pos(), "%s is not allocation-free", name)
+	case "panic":
+		// The argument only materialises on the failure path; normal
+		// hot-path execution never evaluates it.
+		return false
+	}
+	return true
+}
+
+// checkConversion flags conversions that allocate: to an interface
+// (boxing) and between strings and byte/rune slices (copies).
+func (h *hotChecker) checkConversion(pkg *Package, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	dst := pkg.Info.TypeOf(call)
+	src := pkg.Info.TypeOf(call.Args[0])
+	if dst == nil || src == nil {
+		return
+	}
+	if types.IsInterface(dst) && !types.IsInterface(src) && boxAllocates(src) {
+		h.report(call.Pos(), "conversion of %s to interface %s boxes (heap allocation)", src, dst)
+		return
+	}
+	if (isStringType(dst) && isByteOrRuneSlice(src)) || (isStringType(src) && isByteOrRuneSlice(dst)) {
+		h.report(call.Pos(), "string ↔ byte/rune slice conversion copies and allocates")
+	}
+}
+
+// checkAssign flags map writes and interface boxing through plain
+// assignment (a := definition infers the RHS type, so it never boxes).
+func (h *hotChecker) checkAssign(n *FuncNode, as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		if isMapIndex(n.Pkg, lhs) {
+			h.report(lhs.Pos(), "map write may allocate (bucket growth)")
+		}
+	}
+	if as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		h.checkBox(n, as.Rhs[i], n.Pkg.Info.TypeOf(as.Lhs[i]), "assignment")
+	}
+}
+
+// checkDeclStmt flags `var x Iface = concrete` boxing.
+func (h *hotChecker) checkDeclStmt(n *FuncNode, ds *ast.DeclStmt) {
+	gd, ok := ds.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || vs.Type == nil {
+			continue
+		}
+		dst := n.Pkg.Info.TypeOf(vs.Type)
+		for _, v := range vs.Values {
+			h.checkBox(n, v, dst, "initializer")
+		}
+	}
+}
+
+// isMapIndex reports whether e indexes a map.
+func isMapIndex(pkg *Package, e ast.Expr) bool {
+	ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := pkg.Info.TypeOf(ix.X)
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// isStringType reports whether t's underlying type is a string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isByteOrRuneSlice reports []byte / []rune (the conversion partners
+// of string).
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+// calleeName renders a function for messages: "fmt.Sprintf",
+// "(time.Time).Sub".
+func calleeName(fn *types.Func) string {
+	if fn == nil {
+		return "unknown function"
+	}
+	return fn.FullName()
+}
+
+// hotpathStdAllowPkg lists standard-library packages whose exported
+// functions are allocation-free wholesale.
+var hotpathStdAllowPkg = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync/atomic": true,
+}
+
+// hotpathStdAllowFunc lists individually allowlisted standard
+// functions and methods as "pkgpath:Name". The granularity is
+// receiver-insensitive on purpose: within one of these packages the
+// same name never mixes an allocating and a non-allocating form.
+var hotpathStdAllowFunc = map[string]bool{
+	// encoding/binary byte-order accessors (not the Append* family).
+	"encoding/binary:Uint16":    true,
+	"encoding/binary:Uint32":    true,
+	"encoding/binary:Uint64":    true,
+	"encoding/binary:PutUint16": true,
+	"encoding/binary:PutUint32": true,
+	"encoding/binary:PutUint64": true,
+	// time.Time / time.Duration arithmetic (values, no heap).
+	"time:Sub":         true,
+	"time:Add":         true,
+	"time:Seconds":     true,
+	"time:Nanoseconds": true,
+	"time:UnixNano":    true,
+	"time:Unix":        true,
+	"time:UTC":         true,
+	"time:Before":      true,
+	"time:After":       true,
+	"time:Equal":       true,
+	"time:Compare":     true,
+	"time:IsZero":      true,
+	// sync primitives used for ownership handoff, not allocation.
+	"sync:Lock":    true,
+	"sync:Unlock":  true,
+	"sync:RLock":   true,
+	"sync:RUnlock": true,
+	"sync:TryLock": true,
+	"sync:Done":    true,
+	"sync:Add":     true,
+	"sync:Wait":    true,
+}
+
+// hotpathAllowedStd reports whether a standard-library callee is on
+// the allocation-free allowlist.
+func hotpathAllowedStd(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	if hotpathStdAllowPkg[pkg.Path()] {
+		return true
+	}
+	return hotpathStdAllowFunc[pkg.Path()+":"+fn.Name()]
+}
+
+// hoistFixes finds trivially hoistable allocations in a body: a
+// `x := make(…)` directly inside a for/range body whose arguments are
+// loop-invariant, where x is never reassigned or appended to in the
+// loop (a scratch buffer), and where hoisting introduces no name
+// conflict. The fix moves the definition just above the loop, turning
+// a per-iteration allocation into a single reusable scratch — the
+// remaining (unfixable) allocation is still reported, one step closer
+// to a struct-field scratch.
+func (h *hotChecker) hoistFixes(n *FuncNode) map[*ast.CallExpr]*SuggestedFix {
+	tf := n.Pkg.Fset.File(n.Decl.Pos())
+	if tf == nil {
+		return nil
+	}
+	src, ok := n.Pkg.Sources[tf.Name()]
+	if !ok {
+		return nil
+	}
+	out := map[*ast.CallExpr]*SuggestedFix{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		var loopPos token.Pos
+		var body *ast.BlockStmt
+		switch l := node.(type) {
+		case *ast.ForStmt:
+			loopPos, body = l.Pos(), l.Body
+		case *ast.RangeStmt:
+			loopPos, body = l.Pos(), l.Body
+		default:
+			return true
+		}
+		for _, st := range body.List {
+			as, ok := st.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				continue
+			}
+			lhs, ok := as.Lhs[0].(*ast.Ident)
+			if !ok || lhs.Name == "_" {
+				continue
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if t := h.g.ResolveCall(n.Pkg, call); t.Kind != TargetBuiltin || t.Builtin != "make" {
+				continue
+			}
+			if !h.loopInvariantArgs(n.Pkg, call, loopPos, body.End()) {
+				continue
+			}
+			obj := n.Pkg.Info.Defs[lhs]
+			if obj == nil || !scratchOnlyUses(n.Pkg, body, obj, as) {
+				continue
+			}
+			// Hoisting must not collide with a name already visible at
+			// the loop.
+			if sc := n.Pkg.Types.Scope().Innermost(loopPos); sc != nil {
+				if _, found := sc.LookupParent(lhs.Name, loopPos); found != nil {
+					continue
+				}
+			}
+			fix := hoistFix(tf, src, as, loopPos)
+			if fix != nil {
+				out[call] = fix
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// loopInvariantArgs reports whether every identifier in the call's
+// arguments is declared outside the loop span.
+func (h *hotChecker) loopInvariantArgs(pkg *Package, call *ast.CallExpr, loopPos, loopEnd token.Pos) bool {
+	invariant := true
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(x ast.Node) bool {
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := pkg.Info.Uses[id]; obj != nil && obj.Pos() >= loopPos && obj.Pos() < loopEnd {
+				invariant = false
+				return false
+			}
+			return true
+		})
+	}
+	return invariant
+}
+
+// scratchOnlyUses reports whether the defined variable is used as a
+// scratch buffer in the loop: indexed, sliced, read, passed — but
+// never reassigned and never the base of an append (either would make
+// the per-iteration allocation semantically load-bearing).
+func scratchOnlyUses(pkg *Package, body *ast.BlockStmt, obj types.Object, def *ast.AssignStmt) bool {
+	safe := true
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			if x == def {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+					safe = false
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" && len(x.Args) > 0 {
+				if base, ok := ast.Unparen(x.Args[0]).(*ast.Ident); ok && pkg.Info.Uses[base] == obj {
+					safe = false
+				}
+			}
+		}
+		return true
+	})
+	return safe
+}
+
+// hoistFix builds the two-edit fix: insert the definition above the
+// loop (at the loop's indentation) and delete its original line. The
+// statement must sit alone on its line.
+func hoistFix(tf *token.File, src []byte, as *ast.AssignStmt, loopPos token.Pos) *SuggestedFix {
+	lineStartOff := func(pos token.Pos) int { return tf.Offset(tf.LineStart(tf.Line(pos))) }
+	nextLineOff := func(pos token.Pos) int {
+		line := tf.Line(pos)
+		if line < tf.LineCount() {
+			return tf.Offset(tf.LineStart(line + 1))
+		}
+		return tf.Size()
+	}
+	stmtStart, stmtEnd := tf.Offset(as.Pos()), tf.Offset(as.End())
+	delStart, delEnd := lineStartOff(as.Pos()), nextLineOff(as.End())
+	if !isBlankText(string(src[delStart:stmtStart])) {
+		return nil
+	}
+	if tail := strings.TrimSpace(string(src[stmtEnd:delEnd])); tail != "" && !strings.HasPrefix(tail, "//") {
+		return nil
+	}
+	insertAt := lineStartOff(loopPos)
+	indent := string(src[insertAt:tf.Offset(loopPos)])
+	if !isBlankText(indent) {
+		return nil
+	}
+	return &SuggestedFix{
+		Message: "hoist the loop-invariant make above the loop as a reusable scratch",
+		Edits: []TextEdit{
+			{Filename: tf.Name(), Start: insertAt, End: insertAt, NewText: indent + string(src[stmtStart:stmtEnd]) + "\n"},
+			{Filename: tf.Name(), Start: delStart, End: delEnd, NewText: ""},
+		},
+	}
+}

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// hotpathDiags runs only the hotpath analyzer over a snippet.
+func hotpathDiags(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	p := loadSnippet(t, src)
+	return RunAnalyzer(Hotpath, p.Pkg)
+}
+
+// TestHotpathChainMessage checks that a finding deep in the call tree
+// renders the full root→sink chain with positions.
+func TestHotpathChainMessage(t *testing.T) {
+	diags := hotpathDiags(t, `package snippet
+
+//iguard:hotpath
+func Root(n int) int { return mid(n) }
+
+func mid(n int) int { return leaf(n) }
+
+func leaf(n int) int {
+	xs := make([]int, n)
+	return len(xs)
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("findings = %d, want 1: %v", len(diags), diags)
+	}
+	msg := diags[0].Message
+	for _, part := range []string{"Root (snippet.go:", "mid (snippet.go:", "leaf (snippet.go:", " → "} {
+		if !strings.Contains(msg, part) {
+			t.Errorf("chain message missing %q: %s", part, msg)
+		}
+	}
+}
+
+// TestHotpathDepthLimit checks the bounded-inlining cutoff: a chain
+// deeper than maxHotpathDepth reports at the call that crosses the
+// bound instead of descending forever.
+func TestHotpathDepthLimit(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("package snippet\n\n//iguard:hotpath\nfunc Root(n int) int { return f0(n) }\n")
+	for i := 0; i <= maxHotpathDepth; i++ {
+		fmt.Fprintf(&b, "func f%d(n int) int { return f%d(n) }\n", i, i+1)
+	}
+	fmt.Fprintf(&b, "func f%d(n int) int { return n }\n", maxHotpathDepth+1)
+	diags := RunAnalyzer(Hotpath, loadSnippet(t, b.String()).Pkg)
+	if len(diags) != 1 {
+		t.Fatalf("findings = %d, want 1 depth report: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "exceeds the hot-path inlining depth") {
+		t.Errorf("unexpected message: %s", diags[0].Message)
+	}
+}
+
+// TestHotpathColdpathArgsStillChecked: a coldpath call is a cut point
+// for the callee's body, but the allocation the *call site* performs
+// (boxing an argument) still belongs to the hot function.
+func TestHotpathColdpathArgsStillChecked(t *testing.T) {
+	diags := hotpathDiags(t, `package snippet
+
+//iguard:coldpath diagnostics
+func record(v any) { _ = v }
+
+//iguard:hotpath
+func Root(n int) {
+	record(n)
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("findings = %d, want 1 boxing report: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "boxes into interface") {
+		t.Errorf("unexpected message: %s", diags[0].Message)
+	}
+}
+
+// TestHotpathAllowDirective checks the per-line escape hatch works for
+// hotpath findings like for every other analyzer.
+func TestHotpathAllowDirective(t *testing.T) {
+	diags := hotpathDiags(t, `package snippet
+
+//iguard:hotpath
+func Root(n int) []int {
+	return make([]int, n) //iguard:allow(hotpath) one-time setup, measured
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("allow directive ignored: %v", diags)
+	}
+}
+
+// TestHotpathPlantedAllocation is the acceptance check for the
+// interprocedural walk over the real tree: a leaked allocation planted
+// inside ProcessPacket's call tree (in a scratch copy of the module)
+// must be caught, attributed to the ProcessPacket root, and reported
+// with the full call chain.
+func TestHotpathPlantedAllocation(t *testing.T) {
+	dir := t.TempDir()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyFile := func(rel string) {
+		data, err := os.ReadFile(filepath.Join(root, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	copyFile("go.mod")
+	for _, pkg := range []string{"internal/netpkt", "internal/features", "internal/rules", "internal/switchsim"} {
+		entries, err := os.ReadDir(filepath.Join(root, pkg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			copyFile(filepath.Join(pkg, name))
+		}
+	}
+
+	// Plant the leak at the top of classifyPL, two hops below the
+	// ProcessPacket root via the brown path.
+	pipeline := filepath.Join(dir, "internal/switchsim/pipeline.go")
+	src, err := os.ReadFile(pipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker := "func (sw *Switch) classifyPL(p *netpkt.Packet) int {"
+	if !strings.Contains(string(src), marker) {
+		t.Fatalf("classifyPL marker not found in %s", pipeline)
+	}
+	planted := strings.Replace(string(src), marker,
+		marker+"\n\tleak := make([]float64, 1)\n\t_ = leak", 1)
+	if err := os.WriteFile(pipeline, []byte(planted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	enabled := map[string]*bool{}
+	for _, a := range All() {
+		on := a.Name == "hotpath"
+		enabled[a.Name] = &on
+	}
+	diags, err := Run(dir, []string{"./internal/switchsim"}, enabled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("planted allocation not caught")
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "make allocates") &&
+			strings.Contains(d.Message, "ProcessPacket (pipeline.go:") &&
+			strings.Contains(d.Message, "classifyPL (pipeline.go:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no finding carries the ProcessPacket→classifyPL chain: %v", diags)
+	}
+}
+
+// TestHotpathHoistFix checks the one machine-applicable fix: a
+// loop-invariant make is hoisted above the loop, and the post-fix tree
+// converges (the finding remains — the make still allocates once — but
+// no longer carries a fix).
+func TestHotpathHoistFix(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "snippet.go")
+	src := `package snippet
+
+//iguard:hotpath
+func Smooth(rows [][]float64, dim int) float64 {
+	total := 0.0
+	for _, r := range rows {
+		scratch := make([]float64, dim)
+		copy(scratch, r)
+		total += scratch[0]
+	}
+	return total
+}
+`
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ld := fixtureLoaderFor(t)
+	pkg, err := ld.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzer(Hotpath, pkg)
+	if len(diags) != 1 || len(diags[0].Fixes) == 0 {
+		t.Fatalf("want 1 fixable finding, got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "hoistable") {
+		t.Errorf("unexpected message: %s", diags[0].Message)
+	}
+	res, err := ApplyFixes(diags, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 {
+		t.Fatalf("applied = %d, want 1", res.Applied)
+	}
+	fixed, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	makeIdx := strings.Index(string(fixed), "scratch := make([]float64, dim)")
+	forIdx := strings.Index(string(fixed), "for _, r := range rows {")
+	if makeIdx < 0 || forIdx < 0 || makeIdx > forIdx {
+		t.Fatalf("make not hoisted above the loop:\n%s", fixed)
+	}
+	ld.Invalidate(dir)
+	pkg, err = ld.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("post-fix tree does not type-check: %v", err)
+	}
+	diags = RunAnalyzer(Hotpath, pkg)
+	if len(diags) != 1 {
+		t.Fatalf("post-fix findings = %d, want the remaining (unfixable) make: %v", len(diags), diags)
+	}
+	if FixableCount(diags) != 0 {
+		t.Fatalf("post-fix finding still fixable; -fix would not converge: %v", diags)
+	}
+}

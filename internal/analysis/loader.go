@@ -35,6 +35,13 @@ type Package struct {
 	// suggested fixes are computed against them.
 	Sources map[string][]byte
 
+	// Deps holds the module-local packages this package imports
+	// directly, keyed by import path. Because every Package of a loader
+	// shares one token.FileSet, interprocedural analyzers (the call
+	// graph, hotpath, shardown) can follow a call into a dependency and
+	// still render positions and read directives there.
+	Deps map[string]*Package
+
 	// directives maps filename -> line -> //iguard: directives.
 	directives map[string]map[int][]string
 }
@@ -271,7 +278,22 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 		Types:      tpkg,
 		Info:       info,
 		Sources:    sources,
+		Deps:       map[string]*Package{},
 		directives: directives,
+	}
+	// Map module-local imports back to their loaded Packages. importPkg
+	// already recursed into them, so each is memoized under its
+	// directory by the time Check returns.
+	for _, imp := range tpkg.Imports() {
+		path := imp.Path()
+		if path != l.ModPath && !strings.HasPrefix(path, l.ModPath+"/") {
+			continue
+		}
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		depDir := filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+		if dep, ok := l.pkgs[depDir]; ok {
+			pkg.Deps[path] = dep
+		}
 	}
 	l.pkgs[dir] = pkg
 	return pkg, nil

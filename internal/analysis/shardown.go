@@ -1,0 +1,385 @@
+// The shardown analyzer: static shard-ownership discipline. The serve
+// runtime is a shared-nothing design — each shard worker goroutine
+// exclusively owns its Switch replica and controller, and the rest of
+// the process talks to it only through the mailbox channel. That
+// discipline is what makes the shard loop lock-free; it is also
+// invisible to the compiler and the race detector until the exact
+// interleaving fires. This analyzer makes it declarative:
+//
+//	//iguard:ownedby(shard)  on a struct field  — the field belongs to
+//	    the goroutine of the owner named "shard"
+//	//iguard:owner(shard)    on a function       — that function is the
+//	    owning goroutine's entry point
+//
+// An owned field may only be accessed from the owner's synchronous
+// call tree (SyncReachable: direct calls and function literals, but
+// not bodies spawned with go). Three violation classes are reported:
+// accesses outside the owner's tree (including goroutines spawned
+// inside it), sends of owned state across channels (ownership
+// transfer), and stores of owned state into package-level variables
+// (ownership escape).
+//
+// When an owner name has no //iguard:owner root anywhere in the
+// package's dependency closure, access checks for its fields are
+// relaxed — the annotation then documents intent (e.g. switchsim's
+// scratch buffers, owned by whichever single goroutine drives the
+// Switch) and still arms the send and package-level-store checks.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Shardown is the shard-ownership analyzer.
+var Shardown = &Analyzer{
+	Name: "shardown",
+	Doc: "fields marked //iguard:ownedby(o) may only be touched from the " +
+		"synchronous call tree of an //iguard:owner(o) function, never " +
+		"sent on channels or stored in package-level variables",
+	LibraryOnly: false,
+	Run:         runShardown,
+}
+
+func runShardown(p *Pass) {
+	g := BuildCallGraph(p.Pkg)
+	s := &shardownPass{p: p, g: g, owned: map[*types.Var]string{}, reach: map[string]*ReachSet{}}
+	s.collectOwned()
+	if len(s.owned) == 0 {
+		return
+	}
+	s.collectOwners()
+	s.checkAccesses()
+	s.checkEscapes()
+}
+
+type shardownPass struct {
+	p *Pass
+	g *CallGraph
+	// owned maps a struct field object to its owner name.
+	owned map[*types.Var]string
+	// roots maps an owner name to its //iguard:owner entry points, from
+	// the whole dependency closure.
+	roots map[string][]*FuncNode
+	// reach caches each owner's synchronous reach set.
+	reach map[string]*ReachSet
+}
+
+// collectOwned gathers //iguard:ownedby(o) fields from the analyzed
+// package and its dependency closure — the closure matters because a
+// send or global store in this package can leak state owned elsewhere
+// (e.g. a *switchsim.Switch).
+func (s *shardownPass) collectOwned() {
+	for _, pkg := range s.g.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					owner, ok := fieldOwner(field)
+					if !ok {
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							s.owned[v] = owner
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// fieldOwner extracts the ownedby argument from a field's doc or line
+// comment.
+func fieldOwner(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if d, ok := directiveOf(c); ok {
+				if owner, ok := directiveArg(d, "ownedby"); ok {
+					return owner, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// collectOwners gathers //iguard:owner(o) entry points across the
+// dependency closure.
+func (s *shardownPass) collectOwners() {
+	s.roots = map[string][]*FuncNode{}
+	for _, pkg := range s.g.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				owner, ok := funcDirectiveArg(fd, "owner")
+				if !ok {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					s.roots[owner] = append(s.roots[owner], s.g.NodeOf(obj))
+				}
+			}
+		}
+	}
+}
+
+// reachFor returns (and caches) the synchronous reach set of an
+// owner's roots.
+func (s *shardownPass) reachFor(owner string) *ReachSet {
+	if r, ok := s.reach[owner]; ok {
+		return r
+	}
+	r := s.g.SyncReachable(s.roots[owner])
+	s.reach[owner] = r
+	return r
+}
+
+// checkAccesses walks every function of the analyzed package and flags
+// owned-field accesses outside the owning goroutine's call tree.
+// Owners without any //iguard:owner root are skipped here (relaxed
+// mode). Composite-literal construction (worker := &shardWorker{sw: …})
+// uses field keys, not selectors, so pre-handoff initialization is
+// exempt by construction.
+func (s *shardownPass) checkAccesses() {
+	for _, f := range s.p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s.checkFuncAccesses(fd)
+		}
+	}
+}
+
+// checkFuncAccesses scans one declaration, tracking which goroutine
+// context each nested function literal runs in.
+func (s *shardownPass) checkFuncAccesses(fd *ast.FuncDecl) {
+	info := s.p.Pkg.Info
+	baseOwners := func() map[string]bool {
+		obj, _ := info.Defs[fd.Name].(*types.Func)
+		out := map[string]bool{}
+		//iguard:sorted set construction; membership is order-independent
+		for owner := range s.roots {
+			if obj != nil && s.reachFor(owner).Contains(obj) {
+				out[owner] = true
+			}
+		}
+		return out
+	}()
+	// A function literal runs in the owner's context only when the
+	// owner's walk reached it synchronously; a literal spawned with go —
+	// even inside the owner's own body — is a fresh goroutine.
+	litOwners := func(lit *ast.FuncLit) map[string]bool {
+		out := map[string]bool{}
+		//iguard:sorted set construction; membership is order-independent
+		for owner := range s.roots {
+			if s.reachFor(owner).Lits[lit] {
+				out[owner] = true
+			}
+		}
+		return out
+	}
+	// Walk with an explicit frame stack: ast.Inspect signals subtree
+	// exit by a nil callback, which pops frames pushed by FuncLits.
+	type frame struct {
+		depth  int
+		owners map[string]bool
+	}
+	stack := []frame{{0, baseOwners}}
+	depth := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			depth--
+			for len(stack) > 1 && stack[len(stack)-1].depth > depth {
+				stack = stack[:len(stack)-1]
+			}
+			return true
+		}
+		depth++
+		if lit, ok := n.(*ast.FuncLit); ok {
+			stack = append(stack, frame{depth, litOwners(lit)})
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fldSel, ok := info.Selections[sel]
+		if !ok || fldSel.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := fldSel.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		owner, isOwned := s.owned[v]
+		if !isOwned || len(s.roots[owner]) == 0 {
+			return true
+		}
+		if !stack[len(stack)-1].owners[owner] {
+			s.p.Reportf(sel.Sel.Pos(),
+				"%s is //iguard:ownedby(%s) but %s is outside the synchronous call tree of the //iguard:owner(%s) roots",
+				v.Name(), owner, fd.Name.Name, owner)
+		}
+		return true
+	})
+}
+
+// checkEscapes flags the structural leaks: owned state sent over a
+// channel or stored in a package-level variable.
+func (s *shardownPass) checkEscapes() {
+	info := s.p.Pkg.Info
+	pkgScope := s.p.Pkg.Types.Scope()
+	for _, f := range s.p.Pkg.Files {
+		// Package-level declarations of owned-carrying types.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj, ok := info.Defs[name].(*types.Var)
+					if !ok || obj.Parent() != pkgScope {
+						continue
+					}
+					if owner, leaks := s.carriesOwned(obj.Type()); leaks {
+						s.p.Reportf(name.Pos(),
+							"package-level variable %s holds state //iguard:ownedby(%s); owned state must stay inside its goroutine",
+							name.Name, owner)
+					}
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				if owner, leaks := s.carriesOwned(info.TypeOf(n.Value)); leaks {
+					s.p.Reportf(n.Value.Pos(),
+						"send transfers state //iguard:ownedby(%s) across a channel; hand over a message, not the owned object", owner)
+				} else if v, owner := s.ownedSelector(n.Value); v != nil && refShaped(v.Type()) {
+					s.p.Reportf(n.Value.Pos(),
+						"send shares %s, which is //iguard:ownedby(%s), with another goroutine", v.Name(), owner)
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					base := baseIdent(lhs)
+					if base == nil {
+						continue
+					}
+					v, ok := info.Uses[base].(*types.Var)
+					if !ok || v.Parent() != pkgScope {
+						continue
+					}
+					if owner, leaks := s.carriesOwned(info.TypeOf(lhs)); leaks {
+						s.p.Reportf(lhs.Pos(),
+							"store into package-level %s leaks state //iguard:ownedby(%s) out of its goroutine", v.Name(), owner)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// ownedSelector returns the owned field a selector expression reads,
+// if any.
+func (s *shardownPass) ownedSelector(e ast.Expr) (*types.Var, string) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fldSel, ok := s.p.Pkg.Info.Selections[sel]
+	if !ok || fldSel.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	v, ok := fldSel.Obj().(*types.Var)
+	if !ok {
+		return nil, ""
+	}
+	owner, isOwned := s.owned[v]
+	if !isOwned {
+		return nil, ""
+	}
+	return v, owner
+}
+
+// carriesOwned reports whether a value of type t gives its holder a
+// path to owned state: t (unwrapped through pointers, slices, and
+// arrays) is a struct that directly declares an //iguard:ownedby
+// field. Deliberately shallow — one level of struct — so annotating
+// shardWorker does not transitively poison every type that references
+// a Server.
+func (s *shardownPass) carriesOwned(t types.Type) (string, bool) {
+	for t != nil {
+		switch u := t.Underlying().(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		default:
+			st, ok := u.(*types.Struct)
+			if !ok {
+				return "", false
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if owner, ok := s.owned[st.Field(i)]; ok {
+					return owner, true
+				}
+			}
+			return "", false
+		}
+	}
+	return "", false
+}
+
+// refShaped reports whether values of t alias underlying memory when
+// copied (so sending one shares owned state rather than snapshotting
+// it).
+func refShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// baseIdent unwraps an assignable expression (selectors, indexes,
+// derefs, parens) to its leftmost identifier.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func shardownDiags(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	p := loadSnippet(t, src)
+	return RunAnalyzer(Shardown, p.Pkg)
+}
+
+// TestShardownRelaxedModeEscapes: with no //iguard:owner root for the
+// named owner, plain accesses are accepted everywhere, but the escape
+// checks — sends of owned state, the package-level declaration, and
+// stores into it — stay armed.
+func TestShardownRelaxedModeEscapes(t *testing.T) {
+	diags := shardownDiags(t, `package snippet
+
+type worker struct {
+	//iguard:ownedby(loop)
+	buf []int
+}
+
+var parked *worker
+
+func Use(w *worker) int {
+	w.buf[0] = 1 // relaxed: no owner root, access accepted
+	return w.buf[0]
+}
+
+func Leak(w *worker, ch chan *worker) {
+	ch <- w    // send of owned state: armed even in relaxed mode
+	parked = w // package-level store: armed even in relaxed mode
+}
+`)
+	if len(diags) != 3 {
+		t.Fatalf("findings = %d, want 3 escapes: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "loop") {
+			t.Errorf("finding does not name the owner: %s", d.Message)
+		}
+	}
+}
+
+// TestShardownAllowDirective checks the standard escape hatch, which
+// the serve runtime uses for its happens-before-justified final read.
+func TestShardownAllowDirective(t *testing.T) {
+	diags := shardownDiags(t, `package snippet
+
+type worker struct {
+	//iguard:ownedby(shard)
+	total int
+	in    chan int
+}
+
+//iguard:owner(shard)
+func run(w *worker) {
+	for v := range w.in {
+		w.total += v
+	}
+}
+
+func Drain(w *worker) int {
+	close(w.in)
+	return w.total //iguard:allow(shardown) read after close; channel drain orders the final write
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("allow directive ignored: %v", diags)
+	}
+}
+
+// TestShardownFindingNamesBothSides checks the message carries the
+// field, its owner, and the offending function so the report is
+// actionable without opening the source.
+func TestShardownFindingNamesBothSides(t *testing.T) {
+	diags := shardownDiags(t, `package snippet
+
+type worker struct {
+	//iguard:ownedby(shard)
+	n  int
+	in chan int
+}
+
+//iguard:owner(shard)
+func run(w *worker) {
+	for range w.in {
+		w.n++
+	}
+}
+
+func Poke(w *worker) {
+	w.n = 0
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("findings = %d, want 1: %v", len(diags), diags)
+	}
+	msg := diags[0].Message
+	for _, part := range []string{"n", "ownedby(shard)", "Poke", "owner(shard)"} {
+		if !strings.Contains(msg, part) {
+			t.Errorf("message missing %q: %s", part, msg)
+		}
+	}
+}

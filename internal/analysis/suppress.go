@@ -42,7 +42,15 @@ func (p *Pass) checkDirective(c *ast.Comment, known map[string]bool) {
 	if !ok {
 		return
 	}
-	if d == "sorted" {
+	if d == "sorted" || d == "hotpath" || d == "coldpath" {
+		return
+	}
+	// Ownership annotations carry a mandatory owner argument; an empty
+	// one (owner(), ownedby()) falls through and is reported stale.
+	if _, ok := directiveArg(d, "owner"); ok {
+		return
+	}
+	if _, ok := directiveArg(d, "ownedby"); ok {
 		return
 	}
 	names, isAllow := allowNames(d)

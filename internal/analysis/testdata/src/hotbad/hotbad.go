@@ -1,0 +1,115 @@
+// Package hotbad exercises the hotpath analyzer's finding taxonomy:
+// every allocation class the //iguard:hotpath contract forbids.
+package hotbad
+
+import "fmt"
+
+//iguard:hotpath
+func Root(buf []int, n int) int {
+	s := make([]int, n) // want:hotpath
+	_ = s
+	p := new(int) // want:hotpath
+	_ = p
+	m := map[int]int{} // want:hotpath
+	m[1] = 2           // want:hotpath
+	lit := []int{1, 2} // want:hotpath
+	_ = lit
+	buf = append(buf, n) // want:hotpath
+	_ = buf
+	return helper(n)
+}
+
+// helper has no annotation: it is inlined into Root's check.
+func helper(n int) int {
+	b := []byte("xy") // want:hotpath
+	_ = b
+	return n
+}
+
+//iguard:hotpath
+func Concat(a, b string) string {
+	return a + b // want:hotpath
+}
+
+type ifc interface{ M() }
+
+type impl struct{ x [4]int }
+
+func (impl) M() {}
+
+//iguard:hotpath
+func Boxes(i impl) ifc {
+	var v ifc = i // want:hotpath
+	return v
+}
+
+//iguard:hotpath
+func RetBox(n int) any {
+	return n // want:hotpath
+}
+
+//iguard:hotpath
+func Dyn(i ifc, f func() int) {
+	i.M() // want:hotpath
+	f()   // want:hotpath
+}
+
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+
+//iguard:hotpath
+func MethodVal(c *counter) func() {
+	return c.inc // want:hotpath
+}
+
+//iguard:hotpath
+func Spawns(n int) func() int {
+	go spin(n)                   // want:hotpath
+	f := func() int { return n } // want:hotpath
+	return f
+}
+
+func spin(int) {}
+
+//iguard:hotpath
+func Unknown() string {
+	return fmt.Sprintf("x") // want:hotpath
+}
+
+func sink(vs ...any) {
+	for range vs {
+	}
+}
+
+//iguard:hotpath
+func Variadic(n int) {
+	sink(n) // want:hotpath want:hotpath
+}
+
+// Chained proves findings carry the interprocedural chain: the
+// allocation two hops down is attributed to this root.
+//
+//iguard:hotpath
+func Chained(n int) int { return mid(n) }
+
+func mid(n int) int { return leaf(n) }
+
+func leaf(n int) int {
+	xs := make([]int, n) // want:hotpath
+	return len(xs)
+}
+
+// Hoistable carries the one machine-fixable finding: a loop-invariant
+// make that -fix moves above the loop as a reusable scratch.
+//
+//iguard:hotpath
+func Hoistable(rows [][]float64, dim int) float64 {
+	total := 0.0
+	for _, r := range rows {
+		scratch := make([]float64, dim) // want:hotpath
+		copy(scratch, r)
+		total += scratch[0]
+	}
+	return total
+}

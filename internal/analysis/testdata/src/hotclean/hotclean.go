@@ -1,0 +1,96 @@
+// Package hotclean holds allocation-free hot paths the hotpath
+// analyzer must accept: scratch-buffer reuse, allowlisted standard
+// calls, annotated-hotpath trust boundaries, //iguard:coldpath cut
+// points, and (mutually) recursive descent.
+package hotclean
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+type filter struct {
+	counters [8]uint64
+	scratch  [16]float64
+	hits     atomic.Uint64
+}
+
+//iguard:hotpath
+func (f *filter) Process(v float64, ts, last time.Time) float64 {
+	f.counters[0]++
+	f.hits.Add(1)
+	d := ts.Sub(last).Seconds()
+	x := math.Sqrt(v) + d
+	for i := range f.scratch {
+		f.scratch[i] = x
+	}
+	return f.sum(f.scratch[:])
+}
+
+// sum is unannotated: the analyzer inlines it and finds it clean.
+func (f *filter) sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// report allocates, deliberately: it is the audited cold boundary.
+//
+//iguard:coldpath flow-level reporting, not per packet
+func (f *filter) report() []float64 {
+	out := make([]float64, len(f.scratch))
+	copy(out, f.scratch[:])
+	return out
+}
+
+//iguard:hotpath
+func (f *filter) ProcessAndMaybeReport(v float64, ts, last time.Time) float64 {
+	// Process is itself //iguard:hotpath: a trusted boundary, verified
+	// at its own root rather than re-inlined here.
+	r := f.Process(v, ts, last)
+	if r > 1e9 {
+		_ = f.report()
+	}
+	return r
+}
+
+// Direct and mutual recursion must terminate the walker.
+//
+//iguard:hotpath
+func fib(n int) int {
+	if n < 2 {
+		return n
+	}
+	return fib(n-1) + fib(n-2)
+}
+
+//iguard:hotpath
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+// Failure paths may build their panic values: the argument never
+// evaluates on the hot path.
+//
+//iguard:hotpath
+func mustIndex(xs []float64, i int) float64 {
+	if i < 0 || i >= len(xs) {
+		panic(&boundsErr{i: i})
+	}
+	return xs[i]
+}
+
+type boundsErr struct{ i int }

@@ -1,0 +1,49 @@
+// Package ownbad exercises the shardown analyzer's violation classes:
+// accesses outside the owner's call tree, goroutines spawned inside
+// it, channel sends of owned state, and package-level stores.
+package ownbad
+
+type engine struct{ n int }
+
+type worker struct {
+	//iguard:ownedby(shard)
+	sw *engine
+	//iguard:ownedby(shard)
+	buf []int
+	in  chan int
+}
+
+var leaked *worker // want:shardown
+
+//iguard:owner(shard)
+func run(w *worker) {
+	w.buf[0] = 1 // in the owner tree: fine
+	touch(w)
+	f := w.steps // method-value edge: steps joins the owner tree
+	f()
+	go func() {
+		w.buf[1] = 2 // want:shardown
+	}()
+}
+
+// touch is reachable from run, so its accesses are owned.
+func touch(w *worker) {
+	w.sw.n++
+}
+
+func (w *worker) steps() {
+	w.buf[2] = 3
+}
+
+func Outside(w *worker) {
+	w.buf[0] = 9 // want:shardown
+}
+
+func Sends(w *worker, ch chan *worker, eh chan *engine) {
+	ch <- w    // want:shardown
+	eh <- w.sw // want:shardown want:shardown
+}
+
+func Stores(w *worker) {
+	leaked = w // want:shardown
+}

@@ -1,0 +1,70 @@
+// Package ownclean holds ownership patterns the shardown analyzer must
+// accept: construction before handoff, helpers reached through direct
+// calls, method values, and (mutual) recursion inside the owner tree —
+// plus the relaxed mode, where ownedby documents intent without any
+// //iguard:owner root.
+package ownclean
+
+type engine struct{ n int }
+
+type worker struct {
+	//iguard:ownedby(ring)
+	sw *engine
+	//iguard:ownedby(ring)
+	depth int
+	in    chan int
+}
+
+// NewWorker initialises owned fields through composite-literal keys:
+// construction happens before the owner goroutine exists, and is
+// exempt by form.
+func NewWorker() *worker {
+	return &worker{sw: &engine{}, in: make(chan int, 1)}
+}
+
+//iguard:owner(ring)
+func run(w *worker) {
+	for range w.in {
+		w.sw.n++
+		stepA(w, 4)
+		f := w.flush // method value: flush joins the owner tree
+		f()
+		func() {
+			// Synchronous literal: still the owner goroutine.
+			w.depth++
+		}()
+	}
+}
+
+// Mutual recursion inside the owner tree.
+func stepA(w *worker, d int) {
+	if d == 0 {
+		return
+	}
+	w.depth = d
+	stepB(w, d-1)
+}
+
+func stepB(w *worker, d int) {
+	stepA(w, d-1)
+}
+
+func (w *worker) flush() {
+	w.sw.n = 0
+}
+
+// scratch demonstrates the relaxed mode: ownedby names an owner with
+// no //iguard:owner root anywhere, so only the escape checks arm —
+// plain accesses are accepted wherever they occur.
+type scratch struct {
+	//iguard:ownedby(caller)
+	buf [8]float64
+}
+
+func Sum(s *scratch) float64 {
+	t := 0.0
+	for _, v := range s.buf {
+		t += v
+	}
+	return t
+}

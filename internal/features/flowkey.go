@@ -12,7 +12,6 @@ package features
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 
 	"iguard/internal/netpkt"
 )
@@ -76,19 +75,34 @@ func (k FlowKey) Bytes() [13]byte {
 	return b
 }
 
+// FNV-1a constants, mirroring hash/fnv's 32-bit parameters.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
 // BiHash implements HorusEye's bi-hash: a symmetric hash over the
 // canonicalised 5-tuple, so both flow directions index the same switch
 // register slot. seed lets the double-hash scheme derive its second
-// table index.
+// table index. The FNV-1a rounds are inlined — hash/fnv's New32a would
+// put an allocation and an interface dispatch on the per-packet path —
+// and digest the same byte stream (big-endian seed, then the 13-byte
+// canonical key), so hash values match the hash/fnv implementation
+// bit for bit.
+//
+//iguard:hotpath
 func (k FlowKey) BiHash(seed uint32) uint32 {
 	c := k.Canonical()
-	h := fnv.New32a()
-	var sb [4]byte
-	binary.BigEndian.PutUint32(sb[:], seed)
-	h.Write(sb[:])
+	h := uint32(fnvOffset32)
+	h = (h ^ (seed >> 24)) * fnvPrime32
+	h = (h ^ (seed >> 16 & 0xff)) * fnvPrime32
+	h = (h ^ (seed >> 8 & 0xff)) * fnvPrime32
+	h = (h ^ (seed & 0xff)) * fnvPrime32
 	b := c.Bytes()
-	h.Write(b[:])
-	return h.Sum32()
+	for _, x := range b {
+		h = (h ^ uint32(x)) * fnvPrime32
+	}
+	return h
 }
 
 // Index maps the bi-hash into a table of the given size.

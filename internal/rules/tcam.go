@@ -65,6 +65,8 @@ func (q *Quantizer) EncodeVector(x []float64) []uint64 {
 // least len(x), and returns dst[:len(x)]. It is the allocation-free
 // form of EncodeVector for per-packet hot paths with caller-owned
 // scratch.
+//
+//iguard:hotpath
 func (q *Quantizer) EncodeVectorInto(dst []uint64, x []float64) []uint64 {
 	dst = dst[:len(x)]
 	for i, v := range x {
@@ -269,17 +271,30 @@ func (c *CompiledRuleSet) RangeKeyBits() int {
 // rule, else the default (malicious) label. Vectors up to bvMaxDims
 // wide quantise into a stack buffer, so the call is allocation-free on
 // every iGuard feature space.
+//
+//iguard:hotpath
 func (c *CompiledRuleSet) Match(x []float64) int {
 	if len(x) <= bvMaxDims {
 		var buf [bvMaxDims]uint64
 		return c.MatchCodes(c.Quantizer.EncodeVectorInto(buf[:], x))
 	}
+	return c.matchWide(x)
+}
+
+// matchWide handles vectors wider than the stack buffer. No iGuard
+// feature space is this wide (FL is 13, PL is 4), so the allocation is
+// off the per-packet contract.
+//
+//iguard:coldpath only reachable for >bvMaxDims-dimensional vectors
+func (c *CompiledRuleSet) matchWide(x []float64) int {
 	return c.MatchCodes(c.Quantizer.EncodeVector(x))
 }
 
 // MatchInto is Match with caller-owned quantisation scratch (capacity
 // at least len(x)): the explicit zero-allocation form for hot paths
 // that also want the codes afterwards — scratch holds them on return.
+//
+//iguard:hotpath
 func (c *CompiledRuleSet) MatchInto(x []float64, scratch []uint64) int {
 	return c.MatchCodes(c.Quantizer.EncodeVectorInto(scratch, x))
 }
@@ -289,6 +304,8 @@ func (c *CompiledRuleSet) MatchInto(x []float64, scratch []uint64) int {
 // Compile) the cost is one interval lookup per feature plus a word-wise
 // AND over ceil(rules/64)-word bitmaps — no per-rule branching, the
 // software analogue of the hardware's single TCAM lookup.
+//
+//iguard:hotpath
 func (c *CompiledRuleSet) MatchCodes(codes []uint64) int {
 	ix := c.bv
 	if ix == nil {

@@ -148,17 +148,23 @@ type shardMsg struct {
 	ackN chan<- int        // flush replies
 }
 
-// shardWorker is the per-shard state. The worker goroutine owns sw and
-// ctrl; queueDrops is written by the producer and read by the worker,
-// hence atomic.
+// shardWorker is the per-shard state. The worker goroutine (runShard,
+// the //iguard:owner(shard) root) owns sw, ctrl, swaps, and final;
+// iguard-vet's shardown analyzer enforces that statically. id and in
+// are immutable after construction and shared by design; queueDrops is
+// written by the producer and read by the worker, hence atomic.
 type shardWorker struct {
-	id         int
-	sw         *switchsim.Switch
+	id int
+	//iguard:ownedby(shard)
+	sw *switchsim.Switch
+	//iguard:ownedby(shard)
 	ctrl       *controller.Controller
 	in         chan shardMsg
 	queueDrops atomic.Uint64
-	swaps      int
-	final      ShardStats
+	//iguard:ownedby(shard)
+	swaps int
+	//iguard:ownedby(shard)
+	final ShardStats
 }
 
 // ErrClosed is returned by operations on a closed server.
@@ -221,40 +227,70 @@ func (s *Server) Shards() int { return len(s.shards) }
 // runShard is the worker loop: it owns the shard's switch, so every
 // interaction with it — packets, sweeps, swaps, stats snapshots — is
 // a mailbox message. Exits when the mailbox closes (Close), after
-// draining everything already queued.
+// draining everything already queued. The loop is the serving hot
+// path: the packet and tick arms are statically allocation-free, with
+// the decision observer and the control-plane arms factored out as the
+// //iguard:coldpath boundaries.
+//
+//iguard:hotpath
+//iguard:owner(shard)
 func (s *Server) runShard(w *shardWorker) {
 	defer s.wg.Done()
 	for m := range w.in {
 		switch m.kind {
 		case msgPacket:
 			d := w.sw.ProcessPacket(m.pkt)
-			if s.cfg.OnDecision != nil {
-				s.cfg.OnDecision(w.id, m.seq, m.pkt, d)
-			}
+			s.notifyDecision(w, m.seq, m.pkt, d)
 		case msgTick:
 			w.sw.SweepTimeouts(m.now)
-		case msgSwap:
-			w.sw.SetRules(m.pl, m.fl)
-			w.swaps++
-			if m.ack != nil {
-				m.ack <- w.snapshot()
-			}
-		case msgStats:
-			m.ack <- w.snapshot()
-		case msgFlush:
-			n := 0
-			if w.ctrl != nil {
-				// Flush's data-plane removals land on this goroutine,
-				// honouring the switch's ownership contract.
-				n = w.ctrl.Flush()
-			}
-			m.ackN <- n
+		default:
+			s.handleControl(w, m)
 		}
 	}
 	w.final = w.snapshot()
 }
 
+// notifyDecision hands one decision to the configured observer. Like
+// switchsim's digest sink, this is an observer boundary: it fires per
+// packet, but what the callback allocates is the observer's contract,
+// not the shard loop's — exactly the seam the runtime alloc test pins
+// with a no-op observer.
+//
+//iguard:coldpath observer boundary; the callback's cost belongs to the observer
+func (s *Server) notifyDecision(w *shardWorker, seq uint64, p *netpkt.Packet, d switchsim.Decision) {
+	if s.cfg.OnDecision != nil {
+		s.cfg.OnDecision(w.id, seq, p, d)
+	}
+}
+
+// handleControl executes one control-plane mailbox message on the
+// worker goroutine, preserving the switch's ownership contract.
+//
+//iguard:coldpath control messages are per operator action, not per packet
+func (s *Server) handleControl(w *shardWorker, m shardMsg) {
+	switch m.kind {
+	case msgSwap:
+		w.sw.SetRules(m.pl, m.fl)
+		w.swaps++
+		if m.ack != nil {
+			m.ack <- w.snapshot()
+		}
+	case msgStats:
+		m.ack <- w.snapshot()
+	case msgFlush:
+		n := 0
+		if w.ctrl != nil {
+			// Flush's data-plane removals land on this goroutine,
+			// honouring the switch's ownership contract.
+			n = w.ctrl.Flush()
+		}
+		m.ackN <- n
+	}
+}
+
 // snapshot captures the shard's counters. Worker goroutine only.
+//
+//iguard:coldpath runs on stats/swap requests and at drain, not per packet
 func (w *shardWorker) snapshot() ShardStats {
 	st := ShardStats{
 		Shard:        w.id,
@@ -280,6 +316,8 @@ func (s *Server) shardOf(key features.FlowKey) int {
 // when the packet was queued, (false, nil) when the Drop policy shed
 // it, and (false, ErrClosed) after Close. The packet must not be
 // mutated by the caller afterwards. Producer goroutine only.
+//
+//iguard:hotpath
 func (s *Server) Ingest(p *netpkt.Packet) (bool, error) {
 	if s.closed.Load() {
 		return false, ErrClosed
@@ -398,7 +436,10 @@ func (s *Server) Stats() Stats {
 	per := make([]ShardStats, len(s.shards))
 	if s.drained.Load() {
 		for i, w := range s.shards {
-			per[i] = w.final
+			// Safe despite the shard ownership rule: drained is only set
+			// after wg.Wait() returns in Close, so every worker's final
+			// write happens-before this read.
+			per[i] = w.final //iguard:allow(shardown) drained.Load() after wg.Wait() orders the final write before this read
 		}
 	} else {
 		ack := make(chan ShardStats, len(s.shards))
