@@ -1,6 +1,6 @@
 # Convenience targets for the iGuard reproduction.
 
-.PHONY: build test bench bench-parallel bench-serve bench-rules eval eval-quick examples fmt vet vet-hotpath lint fix sarif race
+.PHONY: build test bench bench-parallel bench-serve bench-rules eval eval-quick examples fmt vet vet-hotpath lint fix sarif race p4lint
 
 build:
 	go build ./...
@@ -70,6 +70,12 @@ fix:
 # Emit the findings as a SARIF 2.1.0 log for code-scanning upload.
 sarif:
 	go run ./cmd/iguard-vet -sarif ./... > iguard-vet.sarif || true
+
+# Generate a P4 bundle from a small synthetic model and verify it with
+# the artefact analyzers (nameres, widths, tables, quantizer, fit).
+p4lint:
+	go run ./cmd/iguard-p4gen -train-synthetic 60 -out /tmp/iguard-p4lint-bundle -check
+	go run ./cmd/iguard-p4lint /tmp/iguard-p4lint-bundle
 
 # Race-detector pass over the whole module (slow: experiments re-run
 # the evaluation pipeline under the detector).

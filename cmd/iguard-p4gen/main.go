@@ -1,12 +1,16 @@
 // Command iguard-p4gen emits the deployable switch artefacts for a
 // trained iGuard model: the P4_16 data-plane program (Fig. 4 pipeline,
-// TNA structure), the whitelist rule entries, and the feature-quantiser
-// configuration a runtime agent installs at boot.
+// TNA structure), the artefact manifest, the whitelist rule entries,
+// and the feature-quantiser configuration a runtime agent installs at
+// boot. With -check the emitted bundle is immediately verified by the
+// iguard-p4lint analyzers (round-tripped against the in-process rule
+// set) and summarised against the Tofino-1 resource budget; findings or
+// an over-budget deployment exit nonzero.
 //
 // Usage:
 //
 //	iguard-p4gen -model model.json -out ./deploy
-//	iguard-p4gen -train-synthetic 400 -out ./deploy -name iguard_pipe
+//	iguard-p4gen -train-synthetic 400 -out ./deploy -name iguard_pipe -check
 package main
 
 import (
@@ -18,6 +22,8 @@ import (
 
 	"iguard"
 	"iguard/internal/p4gen"
+	"iguard/internal/p4lint"
+	"iguard/internal/switchsim"
 	"iguard/internal/traffic"
 )
 
@@ -29,6 +35,7 @@ func main() {
 		name      = flag.String("name", "iguard", "P4 program name")
 		slots     = flag.Int("slots", 8192, "flow-state slots per hash table")
 		seed      = flag.Int64("seed", 1, "training seed when -train-synthetic is used")
+		check     = flag.Bool("check", false, "run the p4lint analyzers over the emitted bundle and summarise the resource fit")
 	)
 	flag.Parse()
 
@@ -72,6 +79,40 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("emitted %d whitelist rules into %s\n", len(det.CompiledRules().Rules), *outDir)
+
+	if *check {
+		os.Exit(runCheck(*outDir, *name, dep))
+	}
+}
+
+// runCheck lints the just-emitted bundle, round-tripping it against the
+// in-process compiled rule sets, and prints a usage-vs-budget summary.
+// Returns the process exit code: 0 clean and fitting, 1 otherwise.
+func runCheck(dir, name string, dep p4gen.Deployment) int {
+	b, err := p4lint.LoadBundleNamed(dir, name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iguard-p4gen: -check:", err)
+		return 1
+	}
+	b.FLRules = dep.FLRules
+	b.PLRules = dep.PLRules
+	diags := p4lint.Lint(b, nil)
+	for _, d := range diags {
+		fmt.Printf("%s:%d:%d: [%s] %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+
+	budget := switchsim.Tofino1Budget()
+	usage := b.FitUsage()
+	fmt.Printf("resource fit: %s\n", usage.Fractions(budget))
+	over := usage.Over(budget)
+	for _, o := range over {
+		fmt.Println("over budget:", o)
+	}
+	if len(diags) > 0 || len(over) > 0 {
+		return 1
+	}
+	fmt.Println("p4lint: bundle clean, fits the switch budget")
+	return 0
 }
 
 func fatal(err error) {

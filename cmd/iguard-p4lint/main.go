@@ -1,0 +1,31 @@
+// Command iguard-p4lint parses and verifies the P4_16 artefact bundles
+// that iguard-p4gen emits, checking them against the switch resource
+// model. It lexes and parses the emitted program into a positioned AST
+// and runs five artefact analyzers: nameres (every referenced state,
+// action, table, and field resolves), widths (declared bit-widths match
+// the quantiser bits and the FlowKey/feature encoding), tables (sizes
+// are covering powers of two and rule entries are valid TCAM range
+// expansions), quantizer (monotone bin edges, 2^bits bins, config
+// round-trips the compiled rule set), and fit (the deployment fits the
+// Tofino-1 stage/TCAM/SRAM budget under greedy stage allocation).
+//
+// Usage:
+//
+//	iguard-p4lint [-json|-sarif] [-program name] [-only a,b] <bundle-dir>
+//
+// The bundle directory is one produced by iguard-p4gen: the .p4
+// program, its _manifest.json, and the rule/quantiser config files.
+// -sarif emits a SARIF 2.1.0 log for CI code-scanning upload. It exits
+// 0 when clean, 1 on findings, 2 on load errors, so it slots directly
+// into `make p4lint` and CI.
+package main
+
+import (
+	"os"
+
+	"iguard/internal/p4lint"
+)
+
+func main() {
+	os.Exit(p4lint.Execute(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -66,12 +66,30 @@ type sarifRegion struct {
 	StartColumn int `json:"startColumn"`
 }
 
-// WriteSARIF renders the diagnostics as a SARIF 2.1.0 log. Paths are
-// made relative to base and use forward slashes.
+// ToolRule is SARIF rule metadata for one analyzer of a tool, used by
+// drivers outside this package (iguard-p4lint) that reuse the SARIF
+// writer with their own analyzer suite.
+type ToolRule struct {
+	ID  string
+	Doc string
+}
+
+// WriteSARIF renders the iguard-vet diagnostics as a SARIF 2.1.0 log.
+// Paths are made relative to base and use forward slashes.
 func WriteSARIF(w io.Writer, base string, diags []Diagnostic) error {
-	rules := make([]sarifRule, 0, len(All()))
+	rules := make([]ToolRule, 0, len(All()))
 	for _, a := range All() {
-		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+		rules = append(rules, ToolRule{ID: a.Name, Doc: a.Doc})
+	}
+	return WriteSARIFTool(w, base, "iguard-vet", rules, diags)
+}
+
+// WriteSARIFTool renders diagnostics as a SARIF 2.1.0 log under an
+// arbitrary tool name and rule set.
+func WriteSARIFTool(w io.Writer, base, tool string, toolRules []ToolRule, diags []Diagnostic) error {
+	rules := make([]sarifRule, 0, len(toolRules))
+	for _, r := range toolRules {
+		rules = append(rules, sarifRule{ID: r.ID, ShortDescription: sarifMessage{Text: r.Doc}})
 	}
 	results := make([]sarifResult, 0, len(diags))
 	for _, d := range diags {
@@ -93,7 +111,7 @@ func WriteSARIF(w io.Writer, base string, diags []Diagnostic) error {
 		Schema:  sarifSchema,
 		Version: "2.1.0",
 		Runs: []sarifRun{{
-			Tool:    sarifTool{Driver: sarifDriver{Name: "iguard-vet", Rules: rules}},
+			Tool:    sarifTool{Driver: sarifDriver{Name: tool, Rules: rules}},
 			Results: results,
 		}},
 	}

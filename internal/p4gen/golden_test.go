@@ -1,0 +1,88 @@
+package p4gen
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden artefact files")
+
+// TestGoldenP4 pins the emitted program for a fixed deployment byte for
+// byte: any template change shows up as a diff against
+// testdata/golden.p4 (regenerate deliberately with `go test -update`).
+func TestGoldenP4(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteP4(&buf, testDeployment()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden.p4")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `go test ./internal/p4gen -update`)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("emitted P4 diverges from the golden file:\n%s\nregenerate deliberately with `go test ./internal/p4gen -update`", firstDiff(string(want), buf.String()))
+	}
+}
+
+// firstDiff renders the first diverging line of two texts.
+func firstDiff(want, got string) string {
+	w := strings.Split(want, "\n")
+	g := strings.Split(got, "\n")
+	n := len(w)
+	if len(g) < n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		if w[i] != g[i] {
+			return fmt.Sprintf("line %d:\n  golden: %s\n  got:    %s", i+1, w[i], g[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: golden %d, got %d", len(w), len(g))
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dep := testDeployment()
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, dep); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Program != "iguard_test" || m.Slots != 4096 || m.PktThreshold != 8 {
+		t.Errorf("manifest header = %+v", m)
+	}
+	if m.TimeoutUs != 5_000_000 {
+		t.Errorf("timeout_us = %d, want 5000000", m.TimeoutUs)
+	}
+	if m.FL == nil || m.PL == nil {
+		t.Fatal("manifest missing rule-set sections")
+	}
+	if m.FL.Rules != len(dep.FLRules.Rules) {
+		t.Errorf("fl rules = %d, want %d", m.FL.Rules, len(dep.FLRules.Rules))
+	}
+	if m.FL.RangeKeyBits != dep.FLRules.RangeKeyBits() {
+		t.Errorf("fl range_key_bits = %d, want %d", m.FL.RangeKeyBits, dep.FLRules.RangeKeyBits())
+	}
+	if len(m.FL.Fields) != len(m.FL.Quantizer.Bits) {
+		t.Errorf("fields/bits mismatch: %d vs %d", len(m.FL.Fields), len(m.FL.Quantizer.Bits))
+	}
+	// Defaulting matches the other writers: an unset blacklist capacity
+	// lands at 8192.
+	if m.BlacklistCapacity != 8192 {
+		t.Errorf("blacklist_capacity = %d, want default 8192", m.BlacklistCapacity)
+	}
+}

@@ -1,0 +1,125 @@
+package p4gen
+
+import (
+	"encoding/json"
+	"io"
+
+	"iguard/internal/rules"
+)
+
+// Artifact file-name layout of one bundle. These helpers are the single
+// source of truth shared by Bundle and the p4lint loader, so the two
+// sides can never drift on naming.
+
+// ProgramFileName returns the P4 program artefact name.
+func ProgramFileName(program string) string { return program + ".p4" }
+
+// ManifestFileName returns the bundle manifest artefact name.
+func ManifestFileName(program string) string { return program + "_manifest.json" }
+
+// RuleFileName returns the rule-entry artefact name for level "fl" or
+// "pl".
+func RuleFileName(program, level string) string { return program + "_" + level + "_rules.txt" }
+
+// QuantFileName returns the quantiser-config artefact name for level
+// "fl" or "pl".
+func QuantFileName(program, level string) string { return program + "_" + level + "_quant.txt" }
+
+// QuantizerManifest records the exact quantiser a rule set was compiled
+// under, full-precision, so a verifier can rebuild it and round-trip
+// the emitted integer rule ranges.
+type QuantizerManifest struct {
+	Min  []float64 `json:"min"`
+	Max  []float64 `json:"max"`
+	Bits []int     `json:"bits"`
+}
+
+// RuleSetManifest describes one emitted whitelist table and the
+// compiled rule set behind it.
+type RuleSetManifest struct {
+	// Table is the P4 table the rules install into.
+	Table string `json:"table"`
+	// Rules is the number of installed whitelist rules (one rule-file
+	// line each under nibble range encoding).
+	Rules int `json:"rules"`
+	// TotalEntries is the TCAM entry count under per-field prefix
+	// expansion (the encoding-free upper bound).
+	TotalEntries int `json:"total_entries"`
+	// KeyBits is the plain match-key width (Σ feature bits).
+	KeyBits int `json:"key_bits"`
+	// RangeKeyBits is the key width under 4-bit nibble range encoding,
+	// the layout the resource model accounts with.
+	RangeKeyBits int `json:"range_key_bits"`
+	// Fields names the P4 metadata key fields in feature order.
+	Fields []string `json:"fields"`
+	// Quantizer is the feature quantiser the rules were compiled under.
+	Quantizer QuantizerManifest `json:"quantizer"`
+}
+
+// Manifest is the machine-readable bundle descriptor p4gen writes next
+// to the artefacts. iguard-p4lint cross-checks every other artefact
+// against it.
+type Manifest struct {
+	Program           string           `json:"program"`
+	Generator         string           `json:"generator"`
+	Slots             int              `json:"slots"`
+	PktThreshold      int              `json:"pkt_threshold"`
+	TimeoutUs         int64            `json:"timeout_us"`
+	BlacklistCapacity int              `json:"blacklist_capacity"`
+	FL                *RuleSetManifest `json:"fl"`
+	PL                *RuleSetManifest `json:"pl,omitempty"`
+}
+
+// NewManifest builds the manifest for a deployment, applying the same
+// defaulting as the other artefact writers.
+func NewManifest(dep Deployment) (*Manifest, error) {
+	if err := dep.validate(); err != nil {
+		return nil, err
+	}
+	m := &Manifest{
+		Program:           dep.ProgramName,
+		Generator:         "iguard/internal/p4gen",
+		Slots:             dep.Slots,
+		PktThreshold:      dep.PktThreshold,
+		TimeoutUs:         dep.Timeout.Microseconds(),
+		BlacklistCapacity: dep.BlacklistCapacity,
+		FL:                ruleSetManifest("fl_whitelist", dep.FLRules, flFieldNames()),
+	}
+	if dep.PLRules != nil {
+		m.PL = ruleSetManifest("pl_whitelist", dep.PLRules, plFieldNames())
+	}
+	return m, nil
+}
+
+func ruleSetManifest(table string, rs *rules.CompiledRuleSet, fields []string) *RuleSetManifest {
+	q := rs.Quantizer
+	return &RuleSetManifest{
+		Table:        table,
+		Rules:        len(rs.Rules),
+		TotalEntries: rs.TotalEntries,
+		KeyBits:      rs.KeyBits,
+		RangeKeyBits: rs.RangeKeyBits(),
+		Fields:       fields,
+		Quantizer:    QuantizerManifest{Min: q.Min, Max: q.Max, Bits: q.Bits},
+	}
+}
+
+// WriteManifest emits the bundle manifest as indented JSON.
+func WriteManifest(w io.Writer, dep Deployment) error {
+	m, err := NewManifest(dep)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadManifest parses a bundle manifest.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -152,6 +152,7 @@ func TestBundleWritesAllArtifacts(t *testing.T) {
 	}
 	for _, want := range []string{
 		"iguard_test.p4",
+		"iguard_test_manifest.json",
 		"iguard_test_fl_rules.txt",
 		"iguard_test_fl_quant.txt",
 		"iguard_test_pl_rules.txt",

@@ -1,0 +1,301 @@
+package p4lint
+
+// Pos is a 1-based source position inside one artefact file. The file
+// name lives on the enclosing Program/artefact, not on every node.
+type Pos struct {
+	Line, Col int
+}
+
+// Program is the parsed P4_16 translation unit.
+type Program struct {
+	// File is the path the program was parsed from, as given to the
+	// loader (used verbatim in diagnostics).
+	File     string
+	Includes []Include
+	Headers  []*StructDecl // kind "header"
+	Structs  []*StructDecl // kind "struct"
+	Parsers  []*ParserDecl
+	Controls []*ControlDecl
+	// Insts are the top-level package instantiations
+	// (Pipeline(...) pipe; Switch(pipe) main;).
+	Insts []*Instantiation
+}
+
+// Include records one preprocessor include line.
+type Include struct {
+	Pos  Pos
+	Text string // e.g. "include <tna.p4>"
+}
+
+// StructDecl is a header or struct declaration.
+type StructDecl struct {
+	Pos    Pos
+	Kind   string // "header" or "struct"
+	Name   string
+	Fields []Field
+}
+
+// Field finds a field by name; nil when absent.
+func (s *StructDecl) Field(name string) *Field {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+// Field is one member of a header or struct.
+type Field struct {
+	Pos  Pos
+	Type TypeRef
+	Name string
+}
+
+// TypeRef names a type use. For bit<N>, Name is "bit" and Width is N;
+// for every other type Width is -1. Args holds type arguments of
+// parameterised extern types (Register<bit<32>, bit<32>>).
+type TypeRef struct {
+	Pos   Pos
+	Name  string
+	Width int
+	Args  []TypeRef
+}
+
+// IsBit reports whether the type is a bit<N> vector.
+func (t TypeRef) IsBit() bool { return t.Name == "bit" && t.Width >= 0 }
+
+// Param is one parser/control/action parameter.
+type Param struct {
+	Pos  Pos
+	Dir  string // "", "in", "out", "inout"
+	Type TypeRef
+	Name string
+}
+
+// ParserDecl is a parser declaration with its states.
+type ParserDecl struct {
+	Pos    Pos
+	Name   string
+	Params []Param
+	States []*State
+}
+
+// State is one parser state.
+type State struct {
+	Pos   Pos
+	Name  string
+	Stmts []Stmt
+	Trans *Transition
+}
+
+// Transition is a state's transition: either a direct target or a
+// select with cases.
+type Transition struct {
+	Pos    Pos
+	Select Expr // nil for a direct transition
+	Target string
+	Cases  []TransCase
+}
+
+// TransCase is one arm of a select transition; Value nil means default.
+type TransCase struct {
+	Pos    Pos
+	Value  Expr
+	Target string
+}
+
+// ControlDecl is a control block: extern instantiations, actions,
+// tables, and the apply body.
+type ControlDecl struct {
+	Pos     Pos
+	Name    string
+	Params  []Param
+	Insts   []*Instantiation
+	Actions []*ActionDecl
+	Tables  []*TableDecl
+	Apply   *Block
+}
+
+// Table finds a declared table by name; nil when absent.
+func (c *ControlDecl) Table(name string) *TableDecl {
+	for _, t := range c.Tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Action finds a declared action by name; nil when absent.
+func (c *ControlDecl) Action(name string) *ActionDecl {
+	for _, a := range c.Actions {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Instantiation is an extern or package instantiation:
+// Type<Args>(CtorArgs) Name;
+type Instantiation struct {
+	Pos  Pos
+	Type TypeRef
+	Args []Expr
+	Name string
+}
+
+// ActionDecl is an action declaration.
+type ActionDecl struct {
+	Pos    Pos
+	Name   string
+	Params []Param
+	Body   *Block
+}
+
+// TableKey is one key entry: an expression with a match kind.
+type TableKey struct {
+	Pos       Pos
+	Expr      Expr
+	MatchKind string // "exact", "range", "ternary", "lpm", ...
+}
+
+// ActionRef names an action in a table's actions list or default.
+type ActionRef struct {
+	Pos  Pos
+	Name string
+}
+
+// TableDecl is a match-action table declaration.
+type TableDecl struct {
+	Pos     Pos
+	Name    string
+	Keys    []TableKey
+	Actions []ActionRef
+	HasSize bool
+	Size    uint64
+	SizePos Pos
+	Default *ActionRef
+}
+
+// KeyField returns the terminal member name of key i ("fl_pkt_count"
+// for meta.fl_pkt_count), or "" when the key is not a member chain.
+func (t *TableDecl) KeyField(i int) string {
+	switch e := t.Keys[i].Expr.(type) {
+	case *Member:
+		return e.Sel
+	case *Ident:
+		return e.Name
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------- stmts
+
+// Stmt is a statement node.
+type Stmt interface{ stmtPos() Pos }
+
+// Block is a braced statement list.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// IfStmt is if (Cond) Then [else Else]; Else is a *Block or *IfStmt.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *Block
+	Else Stmt
+}
+
+// ReturnStmt is a bare return.
+type ReturnStmt struct{ Pos Pos }
+
+// AssignStmt is LHS = RHS;
+type AssignStmt struct {
+	Pos      Pos
+	LHS, RHS Expr
+}
+
+// ExprStmt is an expression (typically a call) used as a statement.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (s *Block) stmtPos() Pos      { return s.Pos }
+func (s *IfStmt) stmtPos() Pos     { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos { return s.Pos }
+func (s *AssignStmt) stmtPos() Pos { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos   { return s.Pos }
+
+// ---------------------------------------------------------------- exprs
+
+// Expr is an expression node.
+type Expr interface{ exprPos() Pos }
+
+// Ident is a bare identifier.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// Member is X.Sel; SelPos positions the selector for diagnostics.
+type Member struct {
+	Pos    Pos
+	X      Expr
+	Sel    string
+	SelPos Pos
+}
+
+// Call is Fun(Args...).
+type Call struct {
+	Pos  Pos
+	Fun  Expr
+	Args []Expr
+}
+
+// NumberLit is an integer literal (decimal or 0x hex).
+type NumberLit struct {
+	Pos   Pos
+	Value uint64
+	Text  string
+}
+
+// Binary is X Op Y with Op one of ^ == != < > <= >= && || + - & |.
+type Binary struct {
+	Pos  Pos
+	Op   string
+	X, Y Expr
+}
+
+// Unary is Op X with Op one of ! -.
+type Unary struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// TupleExpr is a braced expression list { a, b, c }.
+type TupleExpr struct {
+	Pos   Pos
+	Elems []Expr
+}
+
+// IndexExpr is a bit slice X[Hi:Lo].
+type IndexExpr struct {
+	Pos    Pos
+	X      Expr
+	Hi, Lo Expr
+}
+
+func (e *Ident) exprPos() Pos     { return e.Pos }
+func (e *Member) exprPos() Pos    { return e.Pos }
+func (e *Call) exprPos() Pos      { return e.Pos }
+func (e *NumberLit) exprPos() Pos { return e.Pos }
+func (e *Binary) exprPos() Pos    { return e.Pos }
+func (e *Unary) exprPos() Pos     { return e.Pos }
+func (e *TupleExpr) exprPos() Pos { return e.Pos }
+func (e *IndexExpr) exprPos() Pos { return e.Pos }

@@ -1,0 +1,330 @@
+package p4lint
+
+import (
+	"fmt"
+	gotoken "go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"iguard/internal/analysis"
+	"iguard/internal/p4gen"
+	"iguard/internal/rules"
+)
+
+// RuleEntryField is one field match of a rule-entry line: an inclusive
+// integer range over a quantised feature.
+type RuleEntryField struct {
+	Name   string
+	Lo, Hi uint64
+}
+
+// RuleEntry is one parsed "table_add" line of a rule-entry artefact.
+type RuleEntry struct {
+	Line     int
+	Table    string
+	Action   string
+	Fields   []RuleEntryField
+	Priority int
+}
+
+// QuantLine is one parsed "quantize" line of a quantiser-config
+// artefact.
+type QuantLine struct {
+	Line   int
+	Name   string
+	Offset float64
+	Bucket float64
+	Bits   int
+}
+
+// Bundle is a loaded artefact set: the parsed program, the manifest,
+// and the control-plane rule/quantiser files, each remembering its
+// path for diagnostics.
+type Bundle struct {
+	Dir      string
+	Manifest *p4gen.Manifest
+
+	Program      *Program
+	ProgramPath  string
+	ManifestPath string
+
+	FLEntries   []RuleEntry
+	FLRulesPath string
+	FLQuant     []QuantLine
+	FLQuantPath string
+
+	PLEntries   []RuleEntry
+	PLRulesPath string
+	PLQuant     []QuantLine
+	PLQuantPath string
+
+	// FLRules/PLRules optionally attach the in-process compiled rule
+	// sets that produced the bundle (the p4gen -check path); when
+	// present, the quantizer analyzer round-trips the emitted entries
+	// against them.
+	FLRules *rules.CompiledRuleSet
+	PLRules *rules.CompiledRuleSet
+
+	// parseDiags collects artefact syntax findings discovered at load
+	// time, reported under the "parse" pseudo-analyzer.
+	parseDiags []analysis.Diagnostic
+}
+
+// diag builds a positioned diagnostic for one artefact file.
+func diag(path string, pos Pos, analyzer, format string, args ...any) analysis.Diagnostic {
+	return analysis.Diagnostic{
+		Pos:      gotoken.Position{Filename: path, Line: pos.Line, Column: pos.Col},
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// LoadBundle loads the bundle in dir, discovering the program name
+// from the single *_manifest.json present.
+func LoadBundle(dir string) (*Bundle, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*_manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) != 1 {
+		return nil, fmt.Errorf("p4lint: found %d manifest files in %s, want exactly 1 (use LoadBundleNamed)", len(matches), dir)
+	}
+	name := strings.TrimSuffix(filepath.Base(matches[0]), "_manifest.json")
+	return LoadBundleNamed(dir, name)
+}
+
+// LoadBundleNamed loads the bundle of the named program from dir. IO
+// failures are errors; malformed artefact contents become "parse"
+// diagnostics surfaced by Lint.
+func LoadBundleNamed(dir, program string) (*Bundle, error) {
+	b := &Bundle{
+		Dir:          dir,
+		ProgramPath:  filepath.Join(dir, p4gen.ProgramFileName(program)),
+		ManifestPath: filepath.Join(dir, p4gen.ManifestFileName(program)),
+	}
+	mf, err := os.Open(b.ManifestPath)
+	if err != nil {
+		return nil, err
+	}
+	b.Manifest, err = p4gen.ReadManifest(mf)
+	if cerr := mf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("p4lint: manifest %s: %w", b.ManifestPath, err)
+	}
+
+	src, err := os.ReadFile(b.ProgramPath)
+	if err != nil {
+		return nil, err
+	}
+	prog, perr := ParseProgram(b.ProgramPath, string(src))
+	if perr != nil {
+		b.parseDiags = append(b.parseDiags, syntaxDiag(b.ProgramPath, perr))
+	} else {
+		b.Program = prog
+	}
+
+	load := func(level string, entries *[]RuleEntry, quant *[]QuantLine, rulesPath, quantPath *string) error {
+		*rulesPath = filepath.Join(dir, p4gen.RuleFileName(program, level))
+		*quantPath = filepath.Join(dir, p4gen.QuantFileName(program, level))
+		rdata, err := os.ReadFile(*rulesPath)
+		if err != nil {
+			return err
+		}
+		*entries = b.parseRuleFile(*rulesPath, string(rdata))
+		qdata, err := os.ReadFile(*quantPath)
+		if err != nil {
+			return err
+		}
+		*quant = b.parseQuantFile(*quantPath, string(qdata))
+		return nil
+	}
+	if b.Manifest.FL != nil {
+		if err := load("fl", &b.FLEntries, &b.FLQuant, &b.FLRulesPath, &b.FLQuantPath); err != nil {
+			return nil, err
+		}
+	}
+	if b.Manifest.PL != nil {
+		if err := load("pl", &b.PLEntries, &b.PLQuant, &b.PLRulesPath, &b.PLQuantPath); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// syntaxDiag converts a parse error into a positioned diagnostic.
+func syntaxDiag(path string, err error) analysis.Diagnostic {
+	if se, ok := err.(*errSyntax); ok {
+		return diag(path, se.pos, "parse", "%s", se.msg)
+	}
+	return diag(path, Pos{Line: 1, Col: 1}, "parse", "%v", err)
+}
+
+// parseRuleFile parses the control-plane rule entries:
+//
+//	table_add <table> <action> <field>=<lo>..<hi> ... priority=<n>
+//
+// Malformed lines become parse diagnostics and are skipped.
+func (b *Bundle) parseRuleFile(path, src string) []RuleEntry {
+	var out []RuleEntry
+	for ln, line := range strings.Split(src, "\n") {
+		pos := Pos{Line: ln + 1, Col: 1}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 || fields[0] != "table_add" {
+			b.parseDiags = append(b.parseDiags, diag(path, pos, "parse", "malformed rule entry (want \"table_add <table> <action> ...\"): %q", line))
+			continue
+		}
+		e := RuleEntry{Line: ln + 1, Table: fields[1], Action: fields[2], Priority: -1}
+		bad := false
+		for _, f := range fields[3:] {
+			name, val, ok := strings.Cut(f, "=")
+			if !ok {
+				b.parseDiags = append(b.parseDiags, diag(path, pos, "parse", "malformed rule field %q", f))
+				bad = true
+				break
+			}
+			if name == "priority" {
+				p, err := strconv.Atoi(val)
+				if err != nil {
+					b.parseDiags = append(b.parseDiags, diag(path, pos, "parse", "malformed priority %q", val))
+					bad = true
+					break
+				}
+				e.Priority = p
+				continue
+			}
+			loS, hiS, ok := strings.Cut(val, "..")
+			if !ok {
+				b.parseDiags = append(b.parseDiags, diag(path, pos, "parse", "malformed range %q (want lo..hi)", f))
+				bad = true
+				break
+			}
+			lo, err1 := strconv.ParseUint(loS, 10, 64)
+			hi, err2 := strconv.ParseUint(hiS, 10, 64)
+			if err1 != nil || err2 != nil {
+				b.parseDiags = append(b.parseDiags, diag(path, pos, "parse", "malformed range bounds in %q", f))
+				bad = true
+				break
+			}
+			e.Fields = append(e.Fields, RuleEntryField{Name: name, Lo: lo, Hi: hi})
+		}
+		if !bad {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// parseQuantFile parses the quantiser configuration:
+//
+//	quantize <field> offset=<float> bucket=<float> bits=<int>
+func (b *Bundle) parseQuantFile(path, src string) []QuantLine {
+	var out []QuantLine
+	for ln, line := range strings.Split(src, "\n") {
+		pos := Pos{Line: ln + 1, Col: 1}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 || fields[0] != "quantize" {
+			b.parseDiags = append(b.parseDiags, diag(path, pos, "parse", "malformed quantize line: %q", line))
+			continue
+		}
+		q := QuantLine{Line: ln + 1, Name: fields[1]}
+		ok := true
+		for _, f := range fields[2:] {
+			key, val, found := strings.Cut(f, "=")
+			if !found {
+				ok = false
+				break
+			}
+			switch key {
+			case "offset":
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					ok = false
+				}
+				q.Offset = v
+			case "bucket":
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					ok = false
+				}
+				q.Bucket = v
+			case "bits":
+				v, err := strconv.Atoi(val)
+				if err != nil {
+					ok = false
+				}
+				q.Bits = v
+			default:
+				ok = false
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			b.parseDiags = append(b.parseDiags, diag(path, pos, "parse", "malformed quantize parameters: %q", line))
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// level bundles the per-whitelist-level views the analyzers iterate
+// over (FL always, PL when present).
+type level struct {
+	name      string
+	manifest  *p4gen.RuleSetManifest
+	entries   []RuleEntry
+	rulesPath string
+	quant     []QuantLine
+	quantPath string
+	compiled  *rules.CompiledRuleSet
+}
+
+// levels returns the present whitelist levels of the bundle.
+func (b *Bundle) levels() []level {
+	var out []level
+	if b.Manifest.FL != nil {
+		out = append(out, level{
+			name: "fl", manifest: b.Manifest.FL,
+			entries: b.FLEntries, rulesPath: b.FLRulesPath,
+			quant: b.FLQuant, quantPath: b.FLQuantPath,
+			compiled: b.FLRules,
+		})
+	}
+	if b.Manifest.PL != nil {
+		out = append(out, level{
+			name: "pl", manifest: b.Manifest.PL,
+			entries: b.PLEntries, rulesPath: b.PLRulesPath,
+			quant: b.PLQuant, quantPath: b.PLQuantPath,
+			compiled: b.PLRules,
+		})
+	}
+	return out
+}
+
+// findTable locates a table declaration by name across all controls,
+// returning the owning control too.
+func (b *Bundle) findTable(name string) (*ControlDecl, *TableDecl) {
+	if b.Program == nil {
+		return nil, nil
+	}
+	for _, c := range b.Program.Controls {
+		if t := c.Table(name); t != nil {
+			return c, t
+		}
+	}
+	return nil, nil
+}

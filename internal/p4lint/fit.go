@@ -1,0 +1,241 @@
+package p4lint
+
+import (
+	"iguard/internal/analysis"
+	"iguard/internal/switchsim"
+)
+
+// Fit checks the deployment against the switch resource model: the
+// register slot counts and blacklist capacity declared in the program
+// must agree with the manifest, the nibble-encoded TCAM key widths must
+// recompute from the quantiser bits, the aggregate usage must fit the
+// Tofino-1 budget, and a greedy dependency-ordered stage allocation
+// must place every table class within the stage count.
+var Fit = &Analyzer{
+	Name: "fit",
+	Doc:  "the deployment must fit the switch stage/TCAM/SRAM budget under greedy stage allocation",
+	Run:  runFit,
+}
+
+// nibbleBits is the one-hot width of one 4-bit range-encoding nibble
+// (DIRPE), mirroring rules.CompiledRuleSet.RangeKeyBits.
+const nibbleBits = 16
+
+// FitUsage computes the deployment's aggregate resource usage from the
+// artefacts alone: manifest slot/blacklist capacities plus one
+// nibble-encoded TCAM entry per installed rule line. On a clean bundle
+// this agrees with switchsim.(*Switch).Usage() by construction — the
+// differential tests pin that.
+func (b *Bundle) FitUsage() switchsim.Usage {
+	var specs []switchsim.TCAMTableSpec
+	for _, lv := range b.levels() {
+		specs = append(specs, switchsim.TCAMTableSpec{
+			Entries: len(lv.entries),
+			KeyBits: lv.manifest.RangeKeyBits,
+		})
+	}
+	return switchsim.PipelineUsage(b.Manifest.Slots, b.Manifest.BlacklistCapacity, specs)
+}
+
+func runFit(b *Bundle, report func(analysis.Diagnostic)) {
+	prog := b.Program
+
+	// Program-vs-manifest capacity cross-checks.
+	if prog != nil {
+		slots, pos, consistent, found := registerSlots(prog)
+		if !consistent {
+			report(diag(prog.File, pos, "fit", "flow-state registers declare differing slot counts"))
+		} else if found && slots != uint64(b.Manifest.Slots) {
+			report(diag(prog.File, pos, "fit", "registers declare %d slots but the manifest deploys %d", slots, b.Manifest.Slots))
+		}
+		if cap, pos, found := blacklistSize(prog); found && cap != uint64(b.Manifest.BlacklistCapacity) {
+			report(diag(prog.File, pos, "fit", "blacklist table size %d but the manifest deploys capacity %d", cap, b.Manifest.BlacklistCapacity))
+		}
+	}
+
+	// The manifest's nibble-encoded key width must recompute from its
+	// quantiser bits.
+	for _, lv := range b.levels() {
+		want := 0
+		for _, bits := range lv.manifest.Quantizer.Bits {
+			want += (bits + 3) / 4 * nibbleBits
+		}
+		if lv.manifest.RangeKeyBits != want {
+			report(diag(b.ManifestPath, Pos{Line: 1, Col: 1}, "fit", "%s range_key_bits %d does not recompute from the quantizer bits (want %d)", lv.name, lv.manifest.RangeKeyBits, want))
+		}
+	}
+
+	budget := switchsim.Tofino1Budget()
+	usage := b.FitUsage()
+	over := usage.Over(budget)
+	for _, o := range over {
+		report(diag(b.ManifestPath, Pos{Line: 1, Col: 1}, "fit", "deployment does not fit the switch: %s", o))
+	}
+	if len(over) > 0 {
+		// Aggregate totals already exceed the budget; the per-stage
+		// allocation below would only restate the same failure.
+		return
+	}
+
+	// Greedy dependency-ordered stage allocation: the table classes in
+	// pipeline order, each placed from the last stage its predecessor
+	// touched. Memory demands split across stages; sALU register groups
+	// are atomic (one sALU each).
+	classes := fitClasses(b, usage)
+	if need := stagesNeeded(classes, budget); need > budget.Stages {
+		report(diag(b.ManifestPath, Pos{Line: 1, Col: 1}, "fit", "greedy stage allocation needs %d stages, exceeding the %d-stage budget", need, budget.Stages))
+	}
+}
+
+// registerSlots scans the Register instantiations of every control and
+// returns their common constructor slot count. consistent is false when
+// the registers disagree; found is false when the program declares no
+// literal-sized register.
+func registerSlots(prog *Program) (slots uint64, pos Pos, consistent, found bool) {
+	for _, cd := range prog.Controls {
+		for _, inst := range cd.Insts {
+			if inst.Type.Name != "Register" || len(inst.Args) != 1 {
+				continue
+			}
+			n, ok := inst.Args[0].(*NumberLit)
+			if !ok {
+				continue
+			}
+			if !found {
+				slots, pos, found = n.Value, inst.Pos, true
+			} else if n.Value != slots {
+				return 0, inst.Pos, false, true
+			}
+		}
+	}
+	return slots, pos, true, found
+}
+
+// blacklistSize returns the declared size of the all-exact-key table
+// (the blacklist), when the program has exactly one.
+func blacklistSize(prog *Program) (uint64, Pos, bool) {
+	for _, cd := range prog.Controls {
+		for _, tb := range cd.Tables {
+			if len(tb.Keys) > 0 && allExact(tb) && tb.HasSize {
+				return tb.Size, tb.SizePos, true
+			}
+		}
+	}
+	return 0, Pos{}, false
+}
+
+// fitClass is one allocatable unit of the pipeline in dependency order.
+type fitClass struct {
+	name  string
+	tcam  int64 // splittable TCAM demand in bits
+	sram  int64 // splittable SRAM demand in bits
+	salus int   // atomic stateful-ALU groups, one sALU each
+}
+
+// fitClasses decomposes the aggregate usage into the dependency-ordered
+// table classes: blacklist → flow-state registers → PL whitelist → FL
+// whitelist.
+func fitClasses(b *Bundle, usage switchsim.Usage) []fitClass {
+	const blacklistEntryBits = 104 + 16 // FlowKey + action/port value
+	blacklistSRAM := 2 * int64(b.Manifest.BlacklistCapacity) * blacklistEntryBits
+	registerSRAM := usage.SRAMBits - blacklistSRAM
+	if registerSRAM < 0 {
+		registerSRAM = 0
+	}
+	groups := 0
+	if b.Program != nil {
+		n := 0
+		for _, cd := range b.Program.Controls {
+			for _, inst := range cd.Insts {
+				if inst.Type.Name == "Register" {
+					n++
+				}
+			}
+		}
+		groups = (n + 1) / 2 // paired accumulators pack dual-slot sALUs
+	}
+	classes := []fitClass{
+		{name: "blacklist", sram: blacklistSRAM},
+		{name: "registers", sram: registerSRAM, salus: groups},
+	}
+	for _, lv := range b.levels() {
+		classes = append(classes, fitClass{
+			name: lv.manifest.Table,
+			tcam: int64(len(lv.entries)) * int64(lv.manifest.RangeKeyBits),
+		})
+	}
+	return classes
+}
+
+// stagesNeeded simulates the greedy allocation and returns the number
+// of stages consumed. Per-stage capacity is the budget divided evenly
+// across its stages. Each class starts at the last stage its
+// predecessor touched (same-stage sharing allowed); demands that cannot
+// be placed within 4x the budgeted stages report that sentinel.
+func stagesNeeded(classes []fitClass, budget switchsim.Budget) int {
+	if budget.Stages <= 0 {
+		return 0
+	}
+	perTCAM := budget.TCAMBits / int64(budget.Stages)
+	perSRAM := budget.SRAMBits / int64(budget.Stages)
+	perSALU := budget.SALUs / budget.Stages
+	limit := 4 * budget.Stages
+
+	tcam := make([]int64, limit)
+	sram := make([]int64, limit)
+	salu := make([]int, limit)
+	for i := 0; i < limit; i++ {
+		tcam[i], sram[i], salu[i] = perTCAM, perSRAM, perSALU
+	}
+
+	place := func(rem int64, pool []int64, start int) (int, bool) {
+		last := start
+		for i := start; rem > 0; i++ {
+			if i >= limit {
+				return limit, false
+			}
+			take := pool[i]
+			if take > rem {
+				take = rem
+			}
+			pool[i] -= take
+			rem -= take
+			if take > 0 {
+				last = i
+			}
+		}
+		return last, true
+	}
+
+	start, used := 0, 0
+	for _, c := range classes {
+		last := start
+		for g, i := 0, start; g < c.salus; i++ {
+			if i >= limit {
+				return limit + 1
+			}
+			if salu[i] > 0 {
+				salu[i]--
+				g++
+				if i > last {
+					last = i
+				}
+			}
+		}
+		if l, ok := place(c.sram, sram, start); !ok {
+			return limit + 1
+		} else if l > last {
+			last = l
+		}
+		if l, ok := place(c.tcam, tcam, start); !ok {
+			return limit + 1
+		} else if l > last {
+			last = l
+		}
+		if last+1 > used {
+			used = last + 1
+		}
+		start = last
+	}
+	return used
+}

@@ -1,0 +1,327 @@
+// Package p4lint statically verifies the P4_16 artefact bundles that
+// iguard/internal/p4gen emits: it lexes and parses the emitted P4
+// subset into a positioned AST, parses the companion rule-entry and
+// quantiser-config files plus the bundle manifest, and runs a suite of
+// named analyzers (nameres, widths, tables, quantizer, fit) whose
+// findings reuse the internal/analysis diagnostic machinery, so the
+// iguard-p4lint driver shares the vet suite's text/JSON/SARIF output.
+//
+// The parser covers exactly the language subset the p4gen template
+// produces (headers, structs, parsers with select transitions,
+// controls with actions/tables/extern instantiations, apply blocks,
+// top-level package instantiations); it is not a general P4 front end.
+// DESIGN.md §11 documents the subset and the soundness limits of the
+// resource-fit model against real Tofino compilation.
+package p4lint
+
+import "fmt"
+
+// tokKind enumerates lexical token classes of the P4 subset.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokInclude // a whole "#include <...>" preprocessor line
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokLt
+	tokGt
+	tokLe
+	tokGe
+	tokEq
+	tokNeq
+	tokAssign
+	tokComma
+	tokSemi
+	tokColon
+	tokDot
+	tokXor
+	tokNot
+	tokAndAnd
+	tokOrOr
+	tokPlus
+	tokMinus
+	tokAmp
+	tokOr
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of file"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokInclude:
+		return "#include"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokLt:
+		return "'<'"
+	case tokGt:
+		return "'>'"
+	case tokLe:
+		return "'<='"
+	case tokGe:
+		return "'>='"
+	case tokEq:
+		return "'=='"
+	case tokNeq:
+		return "'!='"
+	case tokAssign:
+		return "'='"
+	case tokComma:
+		return "','"
+	case tokSemi:
+		return "';'"
+	case tokColon:
+		return "':'"
+	case tokDot:
+		return "'.'"
+	case tokXor:
+		return "'^'"
+	case tokNot:
+		return "'!'"
+	case tokAndAnd:
+		return "'&&'"
+	case tokOrOr:
+		return "'||'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokAmp:
+		return "'&'"
+	case tokOr:
+		return "'|'"
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	pos  Pos
+}
+
+// lexer scans P4 source into tokens. Comments (// and /* */) are
+// skipped; preprocessor lines become single tokInclude tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// errSyntax is a lexical or syntactic error with a position, turned
+// into a "parse" diagnostic by the parser entry point.
+type errSyntax struct {
+	pos Pos
+	msg string
+}
+
+func (e *errSyntax) Error() string { return fmt.Sprintf("%d:%d: %s", e.pos.Line, e.pos.Col, e.msg) }
+
+func (l *lexer) errorf(pos Pos, format string, args ...any) error {
+	return &errSyntax{pos: pos, msg: fmt.Sprintf(format, args...)}
+}
+
+// advance consumes one byte, tracking line/column.
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+// skipSpace consumes whitespace and comments.
+func (l *lexer) skipSpace() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.here()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *lexer) here() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	pos := l.here()
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	c := l.advance()
+	switch {
+	case c == '#':
+		// Preprocessor line: capture the rest of the line verbatim.
+		start := l.off
+		for l.off < len(l.src) && l.peek() != '\n' {
+			l.advance()
+		}
+		return token{kind: tokInclude, text: l.src[start:l.off], pos: pos}, nil
+	case isIdentStart(c):
+		start := l.off - 1
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.off], pos: pos}, nil
+	case isDigit(c):
+		start := l.off - 1
+		if c == '0' && (l.peek() == 'x' || l.peek() == 'X') {
+			l.advance()
+			for l.off < len(l.src) && isHexDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		return token{kind: tokNumber, text: l.src[start:l.off], pos: pos}, nil
+	}
+	two := func(next byte, k2, k1 tokKind) token {
+		if l.peek() == next {
+			l.advance()
+			return token{kind: k2, pos: pos}
+		}
+		return token{kind: k1, pos: pos}
+	}
+	switch c {
+	case '{':
+		return token{kind: tokLBrace, pos: pos}, nil
+	case '}':
+		return token{kind: tokRBrace, pos: pos}, nil
+	case '(':
+		return token{kind: tokLParen, pos: pos}, nil
+	case ')':
+		return token{kind: tokRParen, pos: pos}, nil
+	case '[':
+		return token{kind: tokLBracket, pos: pos}, nil
+	case ']':
+		return token{kind: tokRBracket, pos: pos}, nil
+	case '<':
+		return two('=', tokLe, tokLt), nil
+	case '>':
+		return two('=', tokGe, tokGt), nil
+	case '=':
+		return two('=', tokEq, tokAssign), nil
+	case '!':
+		return two('=', tokNeq, tokNot), nil
+	case '&':
+		return two('&', tokAndAnd, tokAmp), nil
+	case '|':
+		return two('|', tokOrOr, tokOr), nil
+	case ',':
+		return token{kind: tokComma, pos: pos}, nil
+	case ';':
+		return token{kind: tokSemi, pos: pos}, nil
+	case ':':
+		return token{kind: tokColon, pos: pos}, nil
+	case '.':
+		return token{kind: tokDot, pos: pos}, nil
+	case '^':
+		return token{kind: tokXor, pos: pos}, nil
+	case '+':
+		return token{kind: tokPlus, pos: pos}, nil
+	case '-':
+		return token{kind: tokMinus, pos: pos}, nil
+	}
+	return token{}, l.errorf(pos, "unexpected character %q", string(c))
+}
+
+// lexAll tokenises the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package p4lint
+
+import "iguard/internal/analysis"
+
+// Nameres checks that every reference in the bundle resolves: parser
+// transition targets, table action lists and defaults, table key and
+// apply-body member paths, top-level package arguments, and the
+// table/action/field names used by the control-plane rule files.
+var Nameres = &Analyzer{
+	Name: "nameres",
+	Doc:  "every referenced state, action, table, and field must resolve to a declaration",
+	Run:  runNameres,
+}
+
+func runNameres(b *Bundle, report func(analysis.Diagnostic)) {
+	if b.Program == nil {
+		return
+	}
+	prog := b.Program
+	r := newResolver(prog)
+	rep := func(pos Pos, format string, args ...any) {
+		report(diag(prog.File, pos, "nameres", format, args...))
+	}
+
+	// Parser states: every transition target must be a sibling state or
+	// the builtin accept/reject.
+	for _, pd := range prog.Parsers {
+		states := map[string]bool{"accept": true, "reject": true}
+		for _, st := range pd.States {
+			states[st.Name] = true
+		}
+		sc := r.newScope(pd.Params, nil)
+		for _, st := range pd.States {
+			sc.resolveStmts(st.Stmts, rep)
+			if st.Trans == nil {
+				rep(st.Pos, "state %s of parser %s has no transition", st.Name, pd.Name)
+				continue
+			}
+			if st.Trans.Select != nil {
+				sc.resolveExpr(st.Trans.Select, false, rep)
+				for _, c := range st.Trans.Cases {
+					if !states[c.Target] {
+						rep(c.Pos, "transition target %q is not a state of parser %s", c.Target, pd.Name)
+					}
+				}
+			} else if !states[st.Trans.Target] {
+				rep(st.Trans.Pos, "transition target %q is not a state of parser %s", st.Trans.Target, pd.Name)
+			}
+		}
+	}
+
+	// Controls: table action lists, defaults, keys, and the apply body.
+	for _, cd := range prog.Controls {
+		sc := r.newScope(cd.Params, cd)
+		for _, tb := range cd.Tables {
+			listed := map[string]bool{}
+			for _, a := range tb.Actions {
+				listed[a.Name] = true
+				if a.Name != "NoAction" && cd.Action(a.Name) == nil {
+					rep(a.Pos, "table %s references undeclared action %q", tb.Name, a.Name)
+				}
+			}
+			if d := tb.Default; d != nil {
+				if d.Name != "NoAction" && cd.Action(d.Name) == nil {
+					rep(d.Pos, "table %s default_action %q is not a declared action", tb.Name, d.Name)
+				} else if !listed[d.Name] {
+					rep(d.Pos, "table %s default_action %q is not in its actions list", tb.Name, d.Name)
+				}
+			}
+			for _, k := range tb.Keys {
+				sc.resolveExpr(k.Expr, false, rep)
+			}
+		}
+		if cd.Apply != nil {
+			sc.resolveStmts(cd.Apply.Stmts, rep)
+		}
+		for _, a := range cd.Actions {
+			asc := r.newScope(append(append([]Param{}, cd.Params...), a.Params...), cd)
+			asc.resolveStmts(a.Body.Stmts, rep)
+		}
+	}
+
+	// Top-level package instantiations: call arguments name declared
+	// parsers/controls; bare identifiers name earlier instantiations.
+	decls := map[string]bool{}
+	for _, pd := range prog.Parsers {
+		decls[pd.Name] = true
+	}
+	for _, cd := range prog.Controls {
+		decls[cd.Name] = true
+	}
+	insts := map[string]bool{}
+	for _, inst := range prog.Insts {
+		for _, a := range inst.Args {
+			switch a := a.(type) {
+			case *Call:
+				if id, ok := a.Fun.(*Ident); ok && !decls[id.Name] {
+					rep(id.Pos, "%s instantiates undeclared parser/control %q", inst.Type.Name, id.Name)
+				}
+			case *Ident:
+				if !insts[a.Name] && !decls[a.Name] {
+					rep(a.Pos, "%s references undeclared instance %q", inst.Type.Name, a.Name)
+				}
+			}
+		}
+		insts[inst.Name] = true
+	}
+
+	// Rule files: table, action, and field names must resolve against
+	// the program.
+	for _, lv := range b.levels() {
+		for _, e := range lv.entries {
+			_, tb := b.findTable(e.Table)
+			if tb == nil {
+				report(diag(lv.rulesPath, Pos{Line: e.Line, Col: 1}, "nameres", "rule entry targets undeclared table %q", e.Table))
+				continue
+			}
+			found := false
+			for _, a := range tb.Actions {
+				if a.Name == e.Action {
+					found = true
+					break
+				}
+			}
+			if !found {
+				report(diag(lv.rulesPath, Pos{Line: e.Line, Col: 1}, "nameres", "rule entry action %q is not in table %s's actions list", e.Action, e.Table))
+			}
+			keyFields := map[string]bool{}
+			for i := range tb.Keys {
+				keyFields[tb.KeyField(i)] = true
+			}
+			for _, f := range e.Fields {
+				if !keyFields[f.Name] {
+					report(diag(lv.rulesPath, Pos{Line: e.Line, Col: 1}, "nameres", "rule entry field %q is not a key of table %s", f.Name, e.Table))
+				}
+			}
+		}
+		// Quantiser lines must name manifest fields.
+		fields := map[string]bool{}
+		for _, f := range lv.manifest.Fields {
+			fields[f] = true
+		}
+		for _, q := range lv.quant {
+			if !fields[q.Name] {
+				report(diag(lv.quantPath, Pos{Line: q.Line, Col: 1}, "nameres", "quantize line names unknown field %q", q.Name))
+			}
+		}
+	}
+}

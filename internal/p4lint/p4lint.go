@@ -1,0 +1,173 @@
+package p4lint
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"iguard/internal/analysis"
+)
+
+// Analyzer is one artefact check: a named pass over a loaded bundle
+// reporting positioned diagnostics.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Bundle, func(analysis.Diagnostic))
+}
+
+// Analyzers returns the artefact analyzers in their run order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Nameres, Widths, Tables, QuantizerCheck, Fit}
+}
+
+// Lint runs every enabled analyzer over the bundle and returns the
+// sorted, deduplicated findings, load-time parse diagnostics included.
+// A nil enabled map runs everything.
+func Lint(b *Bundle, enabled map[string]bool) []analysis.Diagnostic {
+	diags := append([]analysis.Diagnostic(nil), b.parseDiags...)
+	for _, a := range Analyzers() {
+		if enabled != nil && !enabled[a.Name] {
+			continue
+		}
+		a.Run(b, func(d analysis.Diagnostic) { diags = append(diags, d) })
+	}
+	analysis.SortDiagnostics(diags)
+	return dedup(diags)
+}
+
+// dedup removes identical consecutive diagnostics from a sorted slice.
+func dedup(diags []analysis.Diagnostic) []analysis.Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 {
+			p := out[len(out)-1]
+			if p.Pos == d.Pos && p.Analyzer == d.Analyzer && p.Message == d.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Execute runs the iguard-p4lint driver over a bundle directory: it
+// loads the emitted artefacts, applies the analyzers, and prints
+// findings as "file:line:col: [analyzer] message" lines (or -json /
+// -sarif). The returned code is the process exit status: 0 clean, 1
+// findings, 2 load/usage error.
+func Execute(args []string, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		if _, werr := io.WriteString(stderr, "iguard-p4lint: "+err.Error()+"\n"); werr != nil {
+			return analysis.ExitError
+		}
+		return analysis.ExitError
+	}
+	fs := flag.NewFlagSet("iguard-p4lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	program := fs.String("program", "", "program name inside the bundle directory (default: discovered from the single manifest)")
+	only := fs.String("only", "", "comma-separated list of analyzers to run, disabling the rest")
+	fs.Usage = func() {
+		if _, err := io.WriteString(stderr, "usage: iguard-p4lint [flags] <bundle-dir>\n\nAnalyzers run over the emitted P4 artefact bundle; findings exit 1.\n\n"); err != nil {
+			return
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return analysis.ExitError
+	}
+	if *jsonOut && *sarifOut {
+		return fail(errors.New("-json and -sarif are mutually exclusive"))
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return analysis.ExitError
+	}
+
+	enabled := map[string]bool{}
+	for _, a := range Analyzers() {
+		enabled[a.Name] = true
+	}
+	enabled["parse"] = true
+	if *only != "" {
+		//iguard:sorted flag reset; order cannot escape
+		for name := range enabled {
+			enabled[name] = false
+		}
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, ok := enabled[name]; !ok {
+				return fail(fmt.Errorf("-only: no analyzer named %q", name))
+			}
+			enabled[name] = true
+		}
+	}
+
+	dir := fs.Arg(0)
+	var b *Bundle
+	var err error
+	if *program != "" {
+		b, err = LoadBundleNamed(dir, *program)
+	} else {
+		b, err = LoadBundle(dir)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	diags := Lint(b, enabled)
+	if !enabled["parse"] {
+		kept := diags[:0]
+		for _, d := range diags {
+			if d.Analyzer != "parse" {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
+
+	var out strings.Builder
+	if *sarifOut {
+		rules := []analysis.ToolRule{{ID: "parse", Doc: "artefact files must parse"}}
+		for _, a := range Analyzers() {
+			rules = append(rules, analysis.ToolRule{ID: a.Name, Doc: a.Doc})
+		}
+		if err := analysis.WriteSARIFTool(&out, dir, "iguard-p4lint", rules, diags); err != nil {
+			return fail(err)
+		}
+	} else if *jsonOut {
+		findings := make([]analysis.JSONFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, analysis.JSONFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(&out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return fail(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(&out, "%s:%d:%d: [%s] %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if _, err := io.WriteString(stdout, out.String()); err != nil {
+		return fail(err)
+	}
+	if len(diags) > 0 {
+		return analysis.ExitFindings
+	}
+	return analysis.ExitClean
+}

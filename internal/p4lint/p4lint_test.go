@@ -1,0 +1,318 @@
+package p4lint
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"iguard/internal/analysis"
+	"iguard/internal/features"
+	"iguard/internal/p4gen"
+	"iguard/internal/rules"
+	"iguard/internal/switchsim"
+)
+
+// testRules builds a small deterministic compiled whitelist over dim
+// features (mirrors the p4gen test fixture).
+func testRules(dim, bits, n int) *rules.CompiledRuleSet {
+	min := make([]float64, dim)
+	max := make([]float64, dim)
+	for i := range max {
+		max[i] = 100
+	}
+	rs := &rules.RuleSet{Dim: dim, DefaultLabel: 1}
+	for i := 0; i < n; i++ {
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for j := range hi {
+			lo[j] = float64(i)
+			hi[j] = float64(i + 10)
+		}
+		rs.Rules = append(rs.Rules, rules.Rule{Box: rules.NewBox(lo, hi), Label: 0})
+	}
+	return rules.Compile(rs, rules.NewQuantizer(min, max, bits))
+}
+
+func testDeployment() p4gen.Deployment {
+	return p4gen.Deployment{
+		ProgramName:  "iguard_test",
+		FLRules:      testRules(features.FLDim, 12, 5),
+		PLRules:      testRules(features.PLDim, 12, 3),
+		Slots:        4096,
+		PktThreshold: 8,
+		Timeout:      5 * time.Second,
+	}
+}
+
+// writeBundle emits the deployment's artefacts into a temp dir.
+func writeBundle(t *testing.T, dep p4gen.Deployment) string {
+	t.Helper()
+	dir := t.TempDir()
+	open := func(name string) (io.WriteCloser, error) {
+		return os.Create(filepath.Join(dir, name))
+	}
+	if err := p4gen.Bundle(dep, open); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func lintDir(t *testing.T, dir string) []analysis.Diagnostic {
+	t.Helper()
+	b, err := LoadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Lint(b, nil)
+}
+
+func TestCleanBundleNoFindings(t *testing.T) {
+	diags := lintDir(t, writeBundle(t, testDeployment()))
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+func TestCleanBundleNoFindingsWithoutPL(t *testing.T) {
+	dep := testDeployment()
+	dep.PLRules = nil
+	diags := lintDir(t, writeBundle(t, dep))
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestCleanBundleRoundTripsCompiled attaches the in-process rule sets
+// (the iguard-p4gen -check path), which arms the quantizer analyzer's
+// entry-for-entry differential — still zero findings.
+func TestCleanBundleRoundTripsCompiled(t *testing.T) {
+	dep := testDeployment()
+	dir := writeBundle(t, dep)
+	b, err := LoadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.FLRules = dep.FLRules
+	b.PLRules = dep.PLRules
+	for _, d := range Lint(b, nil) {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestFitUsageMatchesSwitchsim is the differential pin the ISSUE names:
+// the fit analyzer's stage/TCAM/SRAM totals, recomputed purely from the
+// emitted artefacts, must agree with the switchsim deployment model.
+func TestFitUsageMatchesSwitchsim(t *testing.T) {
+	dep := testDeployment()
+	dir := writeBundle(t, dep)
+	b, err := LoadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.FitUsage()
+
+	sw := switchsim.New(switchsim.Config{
+		Slots:        dep.Slots,
+		PktThreshold: dep.PktThreshold,
+		Timeout:      dep.Timeout,
+		FLRules:      dep.FLRules,
+		PLRules:      dep.PLRules,
+		// Bundle defaulted the unset capacity; mirror it.
+		BlacklistCapacity: b.Manifest.BlacklistCapacity,
+	})
+	want := sw.Usage()
+	if got.Stages != want.Stages {
+		t.Errorf("stages = %d, switchsim %d", got.Stages, want.Stages)
+	}
+	if got.TCAMBits != want.TCAMBits {
+		t.Errorf("tcam bits = %d, switchsim %d", got.TCAMBits, want.TCAMBits)
+	}
+	if got.SRAMBits != want.SRAMBits {
+		t.Errorf("sram bits = %d, switchsim %d", got.SRAMBits, want.SRAMBits)
+	}
+}
+
+// corrupt replaces the first occurrence of old in the named bundle file.
+func corrupt(t *testing.T, dir, file, old, new string) {
+	t.Helper()
+	path := filepath.Join(dir, file)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), old) {
+		t.Fatalf("%s does not contain %q", file, old)
+	}
+	out := strings.Replace(string(data), old, new, 1)
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// assertOnly asserts the lint run produced exactly one finding, from
+// the named analyzer, whose message contains substr.
+func assertOnly(t *testing.T, diags []analysis.Diagnostic, analyzer, substr string) {
+	t.Helper()
+	if len(diags) != 1 {
+		for _, d := range diags {
+			t.Logf("finding: %s", d)
+		}
+		t.Fatalf("findings = %d, want exactly 1", len(diags))
+	}
+	d := diags[0]
+	if d.Analyzer != analyzer {
+		t.Errorf("analyzer = %s, want %s (message %q)", d.Analyzer, analyzer, d.Message)
+	}
+	if !strings.Contains(d.Message, substr) {
+		t.Errorf("message %q does not contain %q", d.Message, substr)
+	}
+}
+
+// Planted-corruption fixtures: each breaks exactly one invariant and
+// must produce exactly its analyzer's finding and no others.
+
+func TestCorruptDanglingActionRef(t *testing.T) {
+	dir := writeBundle(t, testDeployment())
+	corrupt(t, dir, "iguard_test_fl_rules.txt", "whitelist_hit", "no_such_action")
+	assertOnly(t, lintDir(t, dir), "nameres", `action "no_such_action" is not in table fl_whitelist's actions list`)
+}
+
+func TestCorruptFieldWidth(t *testing.T) {
+	dir := writeBundle(t, testDeployment())
+	corrupt(t, dir, "iguard_test.p4", "bit<12> fl_pkt_count;", "bit<10> fl_pkt_count;")
+	assertOnly(t, lintDir(t, dir), "widths", "declared bit<10> but the fl quantizer uses 12 bits")
+}
+
+func TestCorruptUndersizedTable(t *testing.T) {
+	dir := writeBundle(t, testDeployment())
+	// The first "size = 32;" is pl_whitelist (3 entries); 2 is still a
+	// power of two, so only the coverage check fires.
+	corrupt(t, dir, "iguard_test.p4", "size = 32;", "size = 2;")
+	assertOnly(t, lintDir(t, dir), "tables", "table pl_whitelist size 2 does not cover its 3 rule entries")
+}
+
+func TestCorruptNonMonotoneQuantizer(t *testing.T) {
+	dir := writeBundle(t, testDeployment())
+	corrupt(t, dir, "iguard_test_fl_quant.txt", "bucket=", "bucket=-")
+	assertOnly(t, lintDir(t, dir), "quantizer", "bin edges are not monotone")
+}
+
+func TestCorruptOverBudgetRuleCount(t *testing.T) {
+	dir := writeBundle(t, testDeployment())
+	// Inflate the blacklist capacity consistently in both the program
+	// and the manifest: the aggregate SRAM demand then exceeds the
+	// switch, and the aggregate gate suppresses the per-stage findings.
+	corrupt(t, dir, "iguard_test.p4", "size = 8192;", "size = 67108864;")
+	corrupt(t, dir, "iguard_test_manifest.json", `"blacklist_capacity": 8192`, `"blacklist_capacity": 67108864`)
+	assertOnly(t, lintDir(t, dir), "fit", "SRAM")
+}
+
+// TestMalformedRuleLineIsParseFinding pins the load-time diagnostics
+// path: broken artefact syntax surfaces as a "parse" finding rather
+// than a load error.
+func TestMalformedRuleLineIsParseFinding(t *testing.T) {
+	dir := writeBundle(t, testDeployment())
+	path := filepath.Join(dir, "iguard_test_pl_rules.txt")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("table_add pl_whitelist\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var parse, other []analysis.Diagnostic
+	for _, d := range lintDir(t, dir) {
+		if d.Analyzer == "parse" {
+			parse = append(parse, d)
+		} else {
+			other = append(other, d)
+		}
+	}
+	if len(parse) != 1 {
+		t.Errorf("parse findings = %d, want 1", len(parse))
+	}
+	// The skipped line must not cascade: the rule-count cross-checks see
+	// one fewer entry than the manifest.
+	for _, d := range other {
+		if !strings.Contains(d.Message, "entries") && !strings.Contains(d.Message, "rules") {
+			t.Errorf("unexpected cascade finding: %s", d)
+		}
+	}
+}
+
+// TestFitDetectsCapacityDrift pins the program-vs-manifest cross-checks
+// of the fit analyzer.
+func TestFitDetectsCapacityDrift(t *testing.T) {
+	dir := writeBundle(t, testDeployment())
+	corrupt(t, dir, "iguard_test.p4", "(4096) flow_id_lo_0", "(2048) flow_id_lo_0")
+	diags := lintDir(t, dir)
+	if len(diags) != 1 || diags[0].Analyzer != "fit" {
+		t.Fatalf("findings = %v, want one fit finding", diags)
+	}
+	if !strings.Contains(diags[0].Message, "differing slot counts") {
+		t.Errorf("message = %q", diags[0].Message)
+	}
+}
+
+func TestLintHonoursEnabledSet(t *testing.T) {
+	dir := writeBundle(t, testDeployment())
+	corrupt(t, dir, "iguard_test_fl_rules.txt", "whitelist_hit", "no_such_action")
+	diags := Lint(mustLoad(t, dir), map[string]bool{"fit": true})
+	for _, d := range diags {
+		t.Errorf("finding from disabled analyzer: %s", d)
+	}
+}
+
+func mustLoad(t *testing.T, dir string) *Bundle {
+	t.Helper()
+	b, err := LoadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestExecuteCLI drives the binary entry point over a clean and a
+// corrupted bundle.
+func TestExecuteCLI(t *testing.T) {
+	dir := writeBundle(t, testDeployment())
+	var out, errOut strings.Builder
+	if code := Execute([]string{dir}, &out, &errOut); code != analysis.ExitClean {
+		t.Fatalf("clean bundle exit = %d, stderr %q", code, errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean bundle output = %q", out.String())
+	}
+
+	corrupt(t, dir, "iguard_test_fl_rules.txt", "whitelist_hit", "no_such_action")
+	out.Reset()
+	if code := Execute([]string{dir}, &out, &errOut); code != analysis.ExitFindings {
+		t.Fatalf("corrupted bundle exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "[nameres]") {
+		t.Errorf("output = %q", out.String())
+	}
+
+	out.Reset()
+	if code := Execute([]string{"-sarif", dir}, &out, &errOut); code != analysis.ExitFindings {
+		t.Fatalf("sarif exit = %d", code)
+	}
+	if !strings.Contains(out.String(), `"iguard-p4lint"`) || !strings.Contains(out.String(), "no_such_action") {
+		t.Errorf("sarif output missing tool or finding: %q", out.String())
+	}
+
+	out.Reset()
+	if code := Execute([]string{"-only", "fit", dir}, &out, &errOut); code != analysis.ExitClean {
+		t.Fatalf("-only fit exit = %d, output %q", code, out.String())
+	}
+
+	if code := Execute([]string{t.TempDir()}, &out, &errOut); code != analysis.ExitError {
+		t.Errorf("empty dir exit = %d, want error", code)
+	}
+}

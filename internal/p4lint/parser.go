@@ -1,0 +1,821 @@
+package p4lint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parser is a recursive-descent parser over the lexed token stream for
+// the P4_16 subset p4gen emits. The first error aborts the parse; the
+// caller converts it into a "parse" diagnostic.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// ParseProgram parses P4 source into a Program. file is recorded for
+// diagnostics only.
+func ParseProgram(file, src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{File: file}
+	for p.cur().kind != tokEOF {
+		if err := p.parseTopLevel(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+
+func (p *parser) peekKind(ahead int) tokKind {
+	j := p.i + ahead
+	if j >= len(p.toks) {
+		return tokEOF
+	}
+	return p.toks[j].kind
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(pos Pos, format string, args ...any) error {
+	return &errSyntax{pos: pos, msg: fmt.Sprintf(format, args...)}
+}
+
+// expect consumes a token of kind k or fails.
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, p.errorf(t.pos, "expected %s, found %s", k, describe(t))
+	}
+	return p.advance(), nil
+}
+
+// expectIdent consumes the exact keyword identifier.
+func (p *parser) expectIdent(name string) (token, error) {
+	t := p.cur()
+	if t.kind != tokIdent || t.text != name {
+		return t, p.errorf(t.pos, "expected %q, found %s", name, describe(t))
+	}
+	return p.advance(), nil
+}
+
+func describe(t token) string {
+	switch t.kind {
+	case tokIdent, tokNumber:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.kind.String()
+	}
+}
+
+// parseTopLevel dispatches one top-level declaration.
+func (p *parser) parseTopLevel(prog *Program) error {
+	t := p.cur()
+	switch {
+	case t.kind == tokInclude:
+		p.advance()
+		prog.Includes = append(prog.Includes, Include{Pos: t.pos, Text: strings.TrimSpace(t.text)})
+		return nil
+	case t.kind == tokIdent && (t.text == "header" || t.text == "struct"):
+		d, err := p.parseStructDecl()
+		if err != nil {
+			return err
+		}
+		if d.Kind == "header" {
+			prog.Headers = append(prog.Headers, d)
+		} else {
+			prog.Structs = append(prog.Structs, d)
+		}
+		return nil
+	case t.kind == tokIdent && t.text == "parser":
+		d, err := p.parseParserDecl()
+		if err != nil {
+			return err
+		}
+		prog.Parsers = append(prog.Parsers, d)
+		return nil
+	case t.kind == tokIdent && t.text == "control":
+		d, err := p.parseControlDecl()
+		if err != nil {
+			return err
+		}
+		prog.Controls = append(prog.Controls, d)
+		return nil
+	case t.kind == tokIdent:
+		// Package instantiation: Name(args) inst;
+		inst, err := p.parseInstantiation()
+		if err != nil {
+			return err
+		}
+		prog.Insts = append(prog.Insts, inst)
+		return nil
+	}
+	return p.errorf(t.pos, "unexpected %s at top level", describe(t))
+}
+
+// parseStructDecl parses header/struct NAME { fields }.
+func (p *parser) parseStructDecl() (*StructDecl, error) {
+	kw := p.advance() // header | struct
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	d := &StructDecl{Pos: kw.pos, Kind: kw.text, Name: name.text}
+	for p.cur().kind != tokRBrace {
+		typ, err := p.parseTypeRef()
+		if err != nil {
+			return nil, err
+		}
+		fname, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		d.Fields = append(d.Fields, Field{Pos: fname.pos, Type: typ, Name: fname.text})
+	}
+	p.advance() // }
+	return d, nil
+}
+
+// parseTypeRef parses ident, bit<N>, or Ident<T1, T2>.
+func (p *parser) parseTypeRef() (TypeRef, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return TypeRef{}, err
+	}
+	t := TypeRef{Pos: name.pos, Name: name.text, Width: -1}
+	if p.cur().kind != tokLt {
+		return t, nil
+	}
+	p.advance() // <
+	if t.Name == "bit" || t.Name == "int" || t.Name == "varbit" {
+		n, err := p.expect(tokNumber)
+		if err != nil {
+			return TypeRef{}, err
+		}
+		w, err := parseUint(n)
+		if err != nil {
+			return TypeRef{}, err
+		}
+		t.Width = int(w)
+	} else {
+		for {
+			arg, err := p.parseTypeRef()
+			if err != nil {
+				return TypeRef{}, err
+			}
+			t.Args = append(t.Args, arg)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if _, err := p.expect(tokGt); err != nil {
+		return TypeRef{}, err
+	}
+	return t, nil
+}
+
+func parseUint(t token) (uint64, error) {
+	v, err := strconv.ParseUint(t.text, 0, 64)
+	if err != nil {
+		return 0, &errSyntax{pos: t.pos, msg: "invalid number " + t.text}
+	}
+	return v, nil
+}
+
+// parseParams parses a (possibly empty) parenthesised parameter list.
+func (p *parser) parseParams() ([]Param, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var out []Param
+	for p.cur().kind != tokRParen {
+		start := p.cur()
+		dir := ""
+		if start.kind == tokIdent && (start.text == "in" || start.text == "out" || start.text == "inout") {
+			// A direction keyword is only a direction if a type follows.
+			if p.peekKind(1) == tokIdent {
+				dir = start.text
+				p.advance()
+			}
+		}
+		typ, err := p.parseTypeRef()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Param{Pos: start.pos, Dir: dir, Type: typ, Name: name.text})
+		if p.cur().kind == tokComma {
+			p.advance()
+		}
+	}
+	p.advance() // )
+	return out, nil
+}
+
+// parseParserDecl parses parser NAME(params) { states }.
+func (p *parser) parseParserDecl() (*ParserDecl, error) {
+	kw := p.advance()
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	d := &ParserDecl{Pos: kw.pos, Name: name.text, Params: params}
+	for p.cur().kind != tokRBrace {
+		st, err := p.parseState()
+		if err != nil {
+			return nil, err
+		}
+		d.States = append(d.States, st)
+	}
+	p.advance() // }
+	return d, nil
+}
+
+// parseState parses state NAME { stmts transition ...; }.
+func (p *parser) parseState() (*State, error) {
+	kw, err := p.expectIdent("state")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	st := &State{Pos: kw.pos, Name: name.text}
+	for p.cur().kind != tokRBrace {
+		if p.cur().kind == tokIdent && p.cur().text == "transition" {
+			tr, err := p.parseTransition()
+			if err != nil {
+				return nil, err
+			}
+			st.Trans = tr
+			continue
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Stmts = append(st.Stmts, s)
+	}
+	p.advance() // }
+	return st, nil
+}
+
+// parseTransition parses "transition target;" or
+// "transition select(expr) { v: target; default: target; }".
+func (p *parser) parseTransition() (*Transition, error) {
+	kw := p.advance() // transition
+	tr := &Transition{Pos: kw.pos}
+	if p.cur().kind == tokIdent && p.cur().text == "select" && p.peekKind(1) == tokLParen {
+		p.advance() // select
+		p.advance() // (
+		sel, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		tr.Select = sel
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLBrace); err != nil {
+			return nil, err
+		}
+		for p.cur().kind != tokRBrace {
+			c := TransCase{Pos: p.cur().pos}
+			if p.cur().kind == tokIdent && p.cur().text == "default" {
+				p.advance()
+			} else {
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				c.Value = v
+			}
+			if _, err := p.expect(tokColon); err != nil {
+				return nil, err
+			}
+			tgt, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			c.Target = tgt.text
+			if _, err := p.expect(tokSemi); err != nil {
+				return nil, err
+			}
+			tr.Cases = append(tr.Cases, c)
+		}
+		p.advance() // }
+		return tr, nil
+	}
+	tgt, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	tr.Target = tgt.text
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// parseControlDecl parses control NAME(params) { decls apply {...} }.
+func (p *parser) parseControlDecl() (*ControlDecl, error) {
+	kw := p.advance()
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	d := &ControlDecl{Pos: kw.pos, Name: name.text, Params: params}
+	for p.cur().kind != tokRBrace {
+		t := p.cur()
+		switch {
+		case t.kind == tokIdent && t.text == "action":
+			a, err := p.parseAction()
+			if err != nil {
+				return nil, err
+			}
+			d.Actions = append(d.Actions, a)
+		case t.kind == tokIdent && t.text == "table":
+			tb, err := p.parseTable()
+			if err != nil {
+				return nil, err
+			}
+			d.Tables = append(d.Tables, tb)
+		case t.kind == tokIdent && t.text == "apply":
+			p.advance()
+			b, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			if d.Apply != nil {
+				return nil, p.errorf(t.pos, "duplicate apply block in control %s", d.Name)
+			}
+			d.Apply = b
+		case t.kind == tokIdent:
+			inst, err := p.parseInstantiation()
+			if err != nil {
+				return nil, err
+			}
+			d.Insts = append(d.Insts, inst)
+		default:
+			return nil, p.errorf(t.pos, "unexpected %s in control %s", describe(t), d.Name)
+		}
+	}
+	p.advance() // }
+	if d.Apply == nil {
+		return nil, p.errorf(kw.pos, "control %s has no apply block", d.Name)
+	}
+	return d, nil
+}
+
+// parseInstantiation parses Type<Args>(ctorArgs) name;
+func (p *parser) parseInstantiation() (*Instantiation, error) {
+	typ, err := p.parseTypeRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	inst := &Instantiation{Pos: typ.Pos, Type: typ}
+	for p.cur().kind != tokRParen {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		inst.Args = append(inst.Args, a)
+		if p.cur().kind == tokComma {
+			p.advance()
+		}
+	}
+	p.advance() // )
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	inst.Name = name.text
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// parseAction parses action NAME(params) { body }.
+func (p *parser) parseAction() (*ActionDecl, error) {
+	kw := p.advance()
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ActionDecl{Pos: kw.pos, Name: name.text, Params: params, Body: body}, nil
+}
+
+// parseTable parses table NAME { key = {...} actions = {...} size = N;
+// default_action = name; }. Unknown properties of the form
+// "ident = expr;" are skipped.
+func (p *parser) parseTable() (*TableDecl, error) {
+	kw := p.advance()
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	tb := &TableDecl{Pos: kw.pos, Name: name.text}
+	for p.cur().kind != tokRBrace {
+		prop, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokAssign); err != nil {
+			return nil, err
+		}
+		switch prop.text {
+		case "key":
+			if err := p.parseTableKeys(tb); err != nil {
+				return nil, err
+			}
+		case "actions":
+			if err := p.parseTableActions(tb); err != nil {
+				return nil, err
+			}
+		case "size":
+			n, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, err
+			}
+			v, err := parseUint(n)
+			if err != nil {
+				return nil, err
+			}
+			tb.HasSize, tb.Size, tb.SizePos = true, v, n.pos
+			if _, err := p.expect(tokSemi); err != nil {
+				return nil, err
+			}
+		case "default_action":
+			a, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			tb.Default = &ActionRef{Pos: a.pos, Name: a.text}
+			// Optional argument list: default_action = name();
+			if p.cur().kind == tokLParen {
+				for p.cur().kind != tokRParen {
+					p.advance()
+				}
+				p.advance()
+			}
+			if _, err := p.expect(tokSemi); err != nil {
+				return nil, err
+			}
+		default:
+			// Unknown scalar property: skip its expression.
+			if _, err := p.parseExpr(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSemi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	p.advance() // }
+	return tb, nil
+}
+
+func (p *parser) parseTableKeys(tb *TableDecl) error {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	for p.cur().kind != tokRBrace {
+		pos := p.cur().pos
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return err
+		}
+		mk, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return err
+		}
+		tb.Keys = append(tb.Keys, TableKey{Pos: pos, Expr: e, MatchKind: mk.text})
+	}
+	p.advance() // }
+	return nil
+}
+
+func (p *parser) parseTableActions(tb *TableDecl) error {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	for p.cur().kind != tokRBrace {
+		a, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return err
+		}
+		tb.Actions = append(tb.Actions, ActionRef{Pos: a.pos, Name: a.text})
+	}
+	p.advance() // }
+	return nil
+}
+
+// ---------------------------------------------------------- statements
+
+func (p *parser) parseBlock() (*Block, error) {
+	lb, err := p.expect(tokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: lb.pos}
+	for p.cur().kind != tokRBrace {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // }
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokLBrace:
+		return p.parseBlock()
+	case t.kind == tokIdent && t.text == "if":
+		return p.parseIf()
+	case t.kind == tokIdent && t.text == "return":
+		p.advance()
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Pos: t.pos}, nil
+	}
+	// Assignment or expression statement.
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokAssign {
+		p.advance()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: t.pos, LHS: lhs, RHS: rhs}, nil
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: t.pos, X: lhs}, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	kw := p.advance() // if
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Pos: kw.pos, Cond: cond, Then: then}
+	if p.cur().kind == tokIdent && p.cur().text == "else" {
+		p.advance()
+		if p.cur().kind == tokIdent && p.cur().text == "if" {
+			st.Else, err = p.parseIf()
+		} else {
+			st.Else, err = p.parseBlock()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// --------------------------------------------------------- expressions
+
+// Binary precedence, loosest first: || && ==/!= relational ^/&/| +/-.
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(0) }
+
+var precLevels = [][]tokKind{
+	{tokOrOr},
+	{tokAndAnd},
+	{tokEq, tokNeq},
+	{tokLt, tokGt, tokLe, tokGe},
+	{tokXor, tokAmp, tokOr},
+	{tokPlus, tokMinus},
+}
+
+var opText = map[tokKind]string{
+	tokOrOr: "||", tokAndAnd: "&&", tokEq: "==", tokNeq: "!=",
+	tokLt: "<", tokGt: ">", tokLe: "<=", tokGe: ">=",
+	tokXor: "^", tokAmp: "&", tokOr: "|", tokPlus: "+", tokMinus: "-",
+}
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	x, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, k := range precLevels[level] {
+			if p.cur().kind == k {
+				op := p.advance()
+				y, err := p.parseBinary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				x = &Binary{Pos: op.pos, Op: opText[k], X: x, Y: y}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokNot || t.kind == tokMinus {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		op := "!"
+		if t.kind == tokMinus {
+			op = "-"
+		}
+		return &Unary{Pos: t.pos, Op: op, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().kind {
+		case tokDot:
+			p.advance()
+			sel, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{Pos: x.exprPos(), X: x, Sel: sel.text, SelPos: sel.pos}
+		case tokLParen:
+			lp := p.advance()
+			call := &Call{Pos: lp.pos, Fun: x}
+			for p.cur().kind != tokRParen {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if p.cur().kind == tokComma {
+					p.advance()
+				}
+			}
+			p.advance() // )
+			x = call
+		case tokLBracket:
+			lb := p.advance()
+			hi, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokColon); err != nil {
+				return nil, err
+			}
+			lo, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Pos: lb.pos, X: x, Hi: hi, Lo: lo}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIdent:
+		p.advance()
+		return &Ident{Pos: t.pos, Name: t.text}, nil
+	case tokNumber:
+		p.advance()
+		v, err := parseUint(t)
+		if err != nil {
+			return nil, err
+		}
+		return &NumberLit{Pos: t.pos, Value: v, Text: t.text}, nil
+	case tokLParen:
+		p.advance()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case tokLBrace:
+		lb := p.advance()
+		tup := &TupleExpr{Pos: lb.pos}
+		for p.cur().kind != tokRBrace {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			tup.Elems = append(tup.Elems, e)
+			if p.cur().kind == tokComma {
+				p.advance()
+			}
+		}
+		p.advance() // }
+		return tup, nil
+	}
+	return nil, p.errorf(t.pos, "unexpected %s in expression", describe(t))
+}

@@ -1,0 +1,221 @@
+package p4lint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"iguard/internal/p4gen"
+)
+
+// parseEmitted parses the program the generator emits for the standard
+// test deployment.
+func parseEmitted(t *testing.T) *Program {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p4gen.WriteP4(&buf, testDeployment()); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ParseProgram("test.p4", buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestParseEmittedProgramStructure(t *testing.T) {
+	prog := parseEmitted(t)
+	if len(prog.Includes) != 2 {
+		t.Errorf("includes = %d, want 2", len(prog.Includes))
+	}
+	if len(prog.Headers) != 3 {
+		t.Errorf("headers = %d, want 3 (ethernet, ipv4, l4)", len(prog.Headers))
+	}
+	if len(prog.Structs) != 3 {
+		t.Errorf("structs = %d, want 3 (headers_t, flow_meta_t, digest)", len(prog.Structs))
+	}
+	if len(prog.Parsers) != 2 {
+		t.Errorf("parsers = %d, want 2", len(prog.Parsers))
+	}
+	if len(prog.Controls) != 4 {
+		t.Errorf("controls = %d, want 4", len(prog.Controls))
+	}
+	if len(prog.Insts) != 2 {
+		t.Errorf("top-level instantiations = %d, want 2 (Pipeline, Switch)", len(prog.Insts))
+	}
+
+	var ingress *ControlDecl
+	for _, c := range prog.Controls {
+		if c.Name == "Ingress" {
+			ingress = c
+		}
+	}
+	if ingress == nil {
+		t.Fatal("no Ingress control")
+	}
+	if n := len(ingress.Insts); n != 17 {
+		t.Errorf("Ingress instantiations = %d, want 17 (15 registers + 2 hashes)", n)
+	}
+	fl := ingress.Table("fl_whitelist")
+	if fl == nil {
+		t.Fatal("no fl_whitelist table")
+	}
+	if len(fl.Keys) != 13 {
+		t.Errorf("fl_whitelist keys = %d, want 13", len(fl.Keys))
+	}
+	if fl.Keys[0].MatchKind != "range" {
+		t.Errorf("fl key match kind = %q, want range", fl.Keys[0].MatchKind)
+	}
+	if !fl.HasSize || fl.Size != 32 {
+		t.Errorf("fl_whitelist size = %d (has %v), want 32", fl.Size, fl.HasSize)
+	}
+	if fl.Default == nil || fl.Default.Name != "whitelist_miss" {
+		t.Errorf("fl default = %+v", fl.Default)
+	}
+	bl := ingress.Table("blacklist")
+	if bl == nil || len(bl.Keys) != 5 || bl.Keys[0].MatchKind != "exact" {
+		t.Fatalf("blacklist table = %+v", bl)
+	}
+	if bl.Size != 8192 {
+		t.Errorf("blacklist size = %d, want 8192", bl.Size)
+	}
+
+	meta := prog.Structs[1]
+	if meta.Name != "flow_meta_t" {
+		t.Fatalf("second struct = %s", meta.Name)
+	}
+	f := meta.Field("fl_pkt_count")
+	if f == nil || !f.Type.IsBit() || f.Type.Width != 12 {
+		t.Errorf("fl_pkt_count field = %+v", f)
+	}
+	if f != nil && f.Pos.Line == 0 {
+		t.Error("field position not recorded")
+	}
+}
+
+func TestParseRegisterGenerics(t *testing.T) {
+	src := `
+control C(inout bit<8> x) {
+    Register<bit<32>, bit<32>>(1024) r;
+    Hash<bit<32>>(HashAlgorithm_t.CRC32) h;
+    apply { }
+}
+`
+	prog, err := ParseProgram("t.p4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := prog.Controls[0].Insts
+	if len(insts) != 2 {
+		t.Fatalf("instantiations = %d", len(insts))
+	}
+	r := insts[0]
+	if r.Type.Name != "Register" || len(r.Type.Args) != 2 || !r.Type.Args[0].IsBit() || r.Type.Args[0].Width != 32 {
+		t.Errorf("register type = %+v", r.Type)
+	}
+	n, ok := r.Args[0].(*NumberLit)
+	if !ok || n.Value != 1024 {
+		t.Errorf("register ctor arg = %+v", r.Args[0])
+	}
+}
+
+func TestParseSelectTransition(t *testing.T) {
+	src := `
+parser P(packet_in pkt, out H hdr) {
+    state start {
+        transition select(hdr.ether_type) {
+            0x0800: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        transition accept;
+    }
+}
+`
+	prog, err := ParseProgram("t.p4", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prog.Parsers[0].States[0]
+	if st.Trans == nil || st.Trans.Select == nil {
+		t.Fatal("select transition not parsed")
+	}
+	if len(st.Trans.Cases) != 2 {
+		t.Fatalf("cases = %d", len(st.Trans.Cases))
+	}
+	if st.Trans.Cases[0].Target != "parse_ipv4" || st.Trans.Cases[1].Target != "accept" {
+		t.Errorf("case targets = %+v", st.Trans.Cases)
+	}
+}
+
+func TestParseBitSliceAndOps(t *testing.T) {
+	src := `
+control C(inout bit<8> x) {
+    apply {
+        if (x >= 3 && x != 7 || !(x == 0)) {
+            x = x + 1;
+        }
+        x = x[3:0] ^ 2;
+    }
+}
+`
+	if _, err := ParseProgram("t.p4", src); err != nil {
+		t.Fatalf("operators failed to parse: %v", err)
+	}
+}
+
+func TestParseErrorsArePositioned(t *testing.T) {
+	cases := []struct {
+		src  string
+		line int
+	}{
+		{"header h {\n  bit<8 x;\n}\n", 2},
+		{"control C() {\n  table t {\n    size = ;\n  }\n}\n", 3},
+		{"parser P() {\n  state s {\n    transition 7;\n  }\n}\n", 3},
+	}
+	for _, c := range cases {
+		_, err := ParseProgram("t.p4", c.src)
+		if err == nil {
+			t.Errorf("no error for %q", c.src)
+			continue
+		}
+		se, ok := err.(*errSyntax)
+		if !ok {
+			t.Errorf("error type %T for %q", err, c.src)
+			continue
+		}
+		if se.pos.Line != c.line {
+			t.Errorf("error line = %d, want %d (%v)", se.pos.Line, c.line, err)
+		}
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks, err := lexAll("a // line\n/* block\nstill */ b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, tk := range toks {
+		if tk.kind == tokEOF {
+			break
+		}
+		names = append(names, tk.text)
+	}
+	if strings.Join(names, ",") != "a,b" {
+		t.Errorf("tokens = %v", names)
+	}
+}
+
+func TestLexerNoShiftTokens(t *testing.T) {
+	// The lexer must emit two single '>' tokens so nested generic
+	// closers parse: Register<bit<32>, bit<32>>(...).
+	toks, err := lexAll(">>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].kind != tokGt || toks[1].kind != tokGt {
+		t.Errorf("tokens = %+v", toks)
+	}
+}

@@ -1,0 +1,144 @@
+package p4lint
+
+import (
+	"math"
+
+	"iguard/internal/analysis"
+	"iguard/internal/rules"
+)
+
+// Quantizer checks the quantiser-config artefacts: every manifest
+// feature has a config line, bin edges are strictly monotone (positive
+// bucket over a positive span), the bucket width equals span/2^bits,
+// the offset equals the feature minimum, and encode∘decode round-trips
+// every sampled bin. When the compiled rule set that produced the
+// bundle is attached (the -check path), the emitted entries are also
+// round-tripped against it range for range.
+var QuantizerCheck = &Analyzer{
+	Name: "quantizer",
+	Doc:  "bin edges must be monotone, bin count 2^bits, and the config must round-trip the compiled rule set",
+	Run:  runQuantizer,
+}
+
+func runQuantizer(b *Bundle, report func(analysis.Diagnostic)) {
+	for _, lv := range b.levels() {
+		mf := lv.manifest
+		if len(mf.Quantizer.Min) != len(mf.Fields) || len(mf.Quantizer.Max) != len(mf.Fields) || len(mf.Quantizer.Bits) != len(mf.Fields) {
+			report(diag(b.ManifestPath, Pos{Line: 1, Col: 1}, "quantizer", "manifest %s quantizer arrays do not all span its %d fields", lv.name, len(mf.Fields)))
+			continue
+		}
+		q := &rules.Quantizer{Min: mf.Quantizer.Min, Max: mf.Quantizer.Max, Bits: mf.Quantizer.Bits}
+
+		byName := map[string]QuantLine{}
+		for _, ql := range lv.quant {
+			if prev, dup := byName[ql.Name]; dup {
+				report(diag(lv.quantPath, Pos{Line: ql.Line, Col: 1}, "quantizer", "duplicate quantize line for %s (first on line %d)", ql.Name, prev.Line))
+				continue
+			}
+			byName[ql.Name] = ql
+		}
+
+		for i, name := range mf.Fields {
+			ql, ok := byName[name]
+			if !ok {
+				report(diag(lv.quantPath, Pos{Line: 1, Col: 1}, "quantizer", "no quantize line for manifest field %s", name))
+				continue
+			}
+			bits := mf.Quantizer.Bits[i]
+			if bits < 1 || bits > 32 {
+				report(diag(b.ManifestPath, Pos{Line: 1, Col: 1}, "quantizer", "field %s bit width %d is outside [1, 32]", name, bits))
+				continue
+			}
+			// Monotone bin edges: edge k = offset + k·bucket must be
+			// strictly increasing, i.e. the bucket is positive.
+			if ql.Bucket <= 0 {
+				report(diag(lv.quantPath, Pos{Line: ql.Line, Col: 1}, "quantizer", "field %s bin edges are not monotone (bucket %g)", name, ql.Bucket))
+				continue
+			}
+			span := mf.Quantizer.Max[i] - mf.Quantizer.Min[i]
+			if span <= 0 {
+				report(diag(b.ManifestPath, Pos{Line: 1, Col: 1}, "quantizer", "field %s has empty span [%g, %g]", name, mf.Quantizer.Min[i], mf.Quantizer.Max[i]))
+				continue
+			}
+			// Bin count is 2^bits by construction, so the bucket width
+			// determines the edge set: it must equal span/2^bits.
+			levels := uint64(1) << bits
+			want := span / float64(levels)
+			if !approxEq(ql.Bucket, want) {
+				report(diag(lv.quantPath, Pos{Line: ql.Line, Col: 1}, "quantizer", "field %s bucket %g does not equal span/2^bits = %g", name, ql.Bucket, want))
+			}
+			if !approxEq(ql.Offset, mf.Quantizer.Min[i]) {
+				report(diag(lv.quantPath, Pos{Line: ql.Line, Col: 1}, "quantizer", "field %s offset %g does not equal the feature minimum %g", name, ql.Offset, mf.Quantizer.Min[i]))
+			}
+			// Round-trip: the centre of every sampled bin must encode
+			// back to its own code.
+			for _, code := range sampleCodes(levels) {
+				centre := q.Decode(i, code) + want/2
+				if got := q.Encode(i, centre); got != code {
+					report(diag(lv.quantPath, Pos{Line: ql.Line, Col: 1}, "quantizer", "field %s bin %d does not round-trip: encode(decode(%d)+bucket/2) = %d", name, code, code, got))
+					break
+				}
+			}
+		}
+
+		// Differential round-trip against the in-process compiled set,
+		// when the caller attached it (iguard-p4gen -check).
+		if lv.compiled != nil {
+			checkAgainstCompiled(b, lv, report)
+		}
+	}
+}
+
+// checkAgainstCompiled verifies the emitted artefacts reproduce the
+// compiled rule set exactly: same quantiser, same rule count, same
+// ranges entry for entry.
+func checkAgainstCompiled(b *Bundle, lv level, report func(analysis.Diagnostic)) {
+	cq := lv.compiled.Quantizer
+	mf := lv.manifest
+	for i := range mf.Fields {
+		if i >= len(cq.Bits) {
+			break
+		}
+		if !approxEq(mf.Quantizer.Min[i], cq.Min[i]) || !approxEq(mf.Quantizer.Max[i], cq.Max[i]) || mf.Quantizer.Bits[i] != cq.Bits[i] {
+			report(diag(b.ManifestPath, Pos{Line: 1, Col: 1}, "quantizer", "manifest %s quantizer for %s diverges from the compiled rule set", lv.name, mf.Fields[i]))
+		}
+	}
+	if len(lv.entries) != len(lv.compiled.Rules) {
+		report(diag(lv.rulesPath, Pos{Line: 1, Col: 1}, "quantizer", "rule file has %d entries but the compiled set has %d rules", len(lv.entries), len(lv.compiled.Rules)))
+		return
+	}
+	for j, e := range lv.entries {
+		want := lv.compiled.Rules[j].Ranges
+		if len(e.Fields) != len(want) {
+			report(diag(lv.rulesPath, Pos{Line: e.Line, Col: 1}, "quantizer", "entry matches %d fields but compiled rule %d has %d ranges", len(e.Fields), j, len(want)))
+			continue
+		}
+		for k, f := range e.Fields {
+			if f.Lo != want[k].Lo || f.Hi != want[k].Hi {
+				report(diag(lv.rulesPath, Pos{Line: e.Line, Col: 1}, "quantizer", "field %s range %d..%d diverges from compiled rule %d range %d..%d", f.Name, f.Lo, f.Hi, j, want[k].Lo, want[k].Hi))
+			}
+		}
+	}
+}
+
+// sampleCodes picks representative bin codes: all bins for small
+// domains, the edges and midpoint for large ones.
+func sampleCodes(levels uint64) []uint64 {
+	if levels <= 256 {
+		out := make([]uint64, levels)
+		for i := range out {
+			out[i] = uint64(i)
+		}
+		return out
+	}
+	return []uint64{0, 1, levels / 2, levels - 2, levels - 1}
+}
+
+// approxEq compares floats with a relative tolerance wide enough to
+// absorb %g formatting and one rounding step, far below any real
+// quantiser misconfiguration.
+func approxEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-9*scale
+}

@@ -1,0 +1,208 @@
+package p4lint
+
+// resolver answers symbol and member-path questions about one parsed
+// program. Resolution is deliberately partial: paths rooted at
+// parameters whose types are not declared in the file (the TNA
+// intrinsic metadata structs, packet_in/packet_out) are opaque and
+// never produce findings — only the program's own headers, structs,
+// tables, actions, and instances are checked strictly.
+type resolver struct {
+	prog *Program
+	// types indexes header and struct declarations by name.
+	types map[string]*StructDecl
+}
+
+func newResolver(prog *Program) *resolver {
+	r := &resolver{prog: prog, types: map[string]*StructDecl{}}
+	for _, h := range prog.Headers {
+		r.types[h.Name] = h
+	}
+	for _, s := range prog.Structs {
+		r.types[s.Name] = s
+	}
+	return r
+}
+
+// refKind classifies what an expression resolves to.
+type refKind int
+
+const (
+	refOpaque   refKind = iota // rooted at an undeclared type: not checkable
+	refStruct                  // a value of a declared header/struct type
+	refBits                    // a bit<N> field value
+	refTable                   // a declared table
+	refAction                  // a declared action
+	refInstance                // a declared extern instance (Register, Hash, Digest)
+	refInvalid                 // resolution failed; a finding was reported
+)
+
+// ref is the result of resolving an expression in a scope.
+type ref struct {
+	kind  refKind
+	typ   *StructDecl // for refStruct
+	width int         // for refBits
+	field *Field      // for refBits/refStruct when reached via a field
+	inst  *Instantiation
+}
+
+// scope is the name environment of one parser or control body.
+type scope struct {
+	r      *resolver
+	ctrl   *ControlDecl // nil inside parsers
+	params map[string]TypeRef
+}
+
+// newScope builds the scope of a parser or control.
+func (r *resolver) newScope(params []Param, ctrl *ControlDecl) *scope {
+	s := &scope{r: r, ctrl: ctrl, params: map[string]TypeRef{}}
+	for _, p := range params {
+		s.params[p.Name] = p.Type
+	}
+	return s
+}
+
+// externMethods whitelists the methods of the extern types the emitted
+// program instantiates. Instances of unknown extern types accept any
+// method.
+var externMethods = map[string]map[string]bool{
+	"Register": {"read": true, "write": true, "execute": true},
+	"Hash":     {"get": true},
+	"Digest":   {"pack": true},
+	"Counter":  {"count": true},
+	"Meter":    {"execute": true},
+}
+
+// headerMethods are the builtin methods available on header values.
+var headerMethods = map[string]bool{"isValid": true, "setValid": true, "setInvalid": true}
+
+// resolveExpr resolves an expression, reporting findings for broken
+// member paths through report. asCallee marks the expression being
+// used as the function of a call, which legalises method selectors.
+func (s *scope) resolveExpr(e Expr, asCallee bool, report func(Pos, string, ...any)) ref {
+	switch e := e.(type) {
+	case *Ident:
+		if t, ok := s.params[e.Name]; ok {
+			if d, ok := s.r.types[t.Name]; ok {
+				return ref{kind: refStruct, typ: d}
+			}
+			if t.IsBit() {
+				return ref{kind: refBits, width: t.Width}
+			}
+			return ref{kind: refOpaque}
+		}
+		if s.ctrl != nil {
+			if t := s.ctrl.Table(e.Name); t != nil {
+				return ref{kind: refTable}
+			}
+			if a := s.ctrl.Action(e.Name); a != nil {
+				return ref{kind: refAction}
+			}
+			for _, inst := range s.ctrl.Insts {
+				if inst.Name == e.Name {
+					return ref{kind: refInstance, inst: inst}
+				}
+			}
+		}
+		// Undeclared bare identifier: an extern constant or enum from
+		// an included architecture file — not checkable.
+		return ref{kind: refOpaque}
+	case *Member:
+		base := s.resolveExpr(e.X, false, report)
+		switch base.kind {
+		case refInvalid, refOpaque:
+			return base
+		case refStruct:
+			f := base.typ.Field(e.Sel)
+			if f == nil {
+				if asCallee && base.typ.Kind == "header" && headerMethods[e.Sel] {
+					return ref{kind: refOpaque}
+				}
+				report(e.SelPos, "%s %s has no field %q", base.typ.Kind, base.typ.Name, e.Sel)
+				return ref{kind: refInvalid}
+			}
+			if d, ok := s.r.types[f.Type.Name]; ok {
+				return ref{kind: refStruct, typ: d, field: f}
+			}
+			if f.Type.IsBit() {
+				return ref{kind: refBits, width: f.Type.Width, field: f}
+			}
+			return ref{kind: refOpaque}
+		case refTable:
+			if asCallee && e.Sel == "apply" {
+				return ref{kind: refOpaque}
+			}
+			report(e.SelPos, "invalid table member %q (only apply() is valid)", e.Sel)
+			return ref{kind: refInvalid}
+		case refInstance:
+			methods, known := externMethods[base.inst.Type.Name]
+			if !known || (asCallee && methods[e.Sel]) {
+				return ref{kind: refOpaque}
+			}
+			report(e.SelPos, "extern %s has no method %q", base.inst.Type.Name, e.Sel)
+			return ref{kind: refInvalid}
+		case refBits:
+			report(e.SelPos, "bit value has no field %q", e.Sel)
+			return ref{kind: refInvalid}
+		case refAction:
+			report(e.SelPos, "action has no member %q", e.Sel)
+			return ref{kind: refInvalid}
+		}
+		return ref{kind: refOpaque}
+	case *Call:
+		s.resolveExpr(e.Fun, true, report)
+		for _, a := range e.Args {
+			s.resolveExpr(a, false, report)
+		}
+		return ref{kind: refOpaque}
+	case *IndexExpr:
+		s.resolveExpr(e.X, false, report)
+		return ref{kind: refOpaque}
+	case *Binary:
+		s.resolveExpr(e.X, false, report)
+		s.resolveExpr(e.Y, false, report)
+		return ref{kind: refOpaque}
+	case *Unary:
+		return s.resolveExpr(e.X, false, report)
+	case *TupleExpr:
+		for _, el := range e.Elems {
+			s.resolveExpr(el, false, report)
+		}
+		return ref{kind: refOpaque}
+	case *NumberLit:
+		return ref{kind: refOpaque}
+	}
+	return ref{kind: refOpaque}
+}
+
+// resolveStmts walks a statement list resolving every expression.
+func (s *scope) resolveStmts(stmts []Stmt, report func(Pos, string, ...any)) {
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *Block:
+			s.resolveStmts(st.Stmts, report)
+		case *IfStmt:
+			s.resolveExpr(st.Cond, false, report)
+			s.resolveStmts(st.Then.Stmts, report)
+			if st.Else != nil {
+				s.resolveStmts([]Stmt{st.Else}, report)
+			}
+		case *AssignStmt:
+			s.resolveExpr(st.LHS, false, report)
+			s.resolveExpr(st.RHS, false, report)
+		case *ExprStmt:
+			s.resolveExpr(st.X, false, report)
+		case *ReturnStmt:
+		}
+	}
+}
+
+// fieldOf resolves a table-key member chain to its terminal bit field
+// within the control's scope. ok is false (without reporting) when the
+// path is opaque or broken — nameres reports breakage separately.
+func (s *scope) fieldOf(e Expr) (*Field, bool) {
+	got := s.resolveExpr(e, false, func(Pos, string, ...any) {})
+	if got.kind == refBits && got.field != nil {
+		return got.field, true
+	}
+	return nil, false
+}

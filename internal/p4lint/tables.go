@@ -1,0 +1,98 @@
+package p4lint
+
+import (
+	"iguard/internal/analysis"
+	"iguard/internal/rules"
+)
+
+// Tables checks the match-action tables against their rule files:
+// every size= is a power of two covering the installed entry count,
+// entry values fit the declared key widths, each range expands into a
+// valid TCAM prefix set whose union exactly reproduces the interval
+// within the 2w−2 bound, and the entry count agrees with the manifest.
+var Tables = &Analyzer{
+	Name: "tables",
+	Doc:  "table sizes must be covering powers of two and rule entries valid TCAM range expansions",
+	Run:  runTables,
+}
+
+func runTables(b *Bundle, report func(analysis.Diagnostic)) {
+	if b.Program == nil {
+		return
+	}
+	prog := b.Program
+	r := newResolver(prog)
+
+	// Structural size check on every sized table.
+	for _, cd := range prog.Controls {
+		for _, tb := range cd.Tables {
+			if tb.HasSize && !isPow2(tb.Size) {
+				report(diag(prog.File, tb.SizePos, "tables", "table %s size %d is not a power of two", tb.Name, tb.Size))
+			}
+		}
+	}
+
+	for _, lv := range b.levels() {
+		ctrl, tb := b.findTable(lv.manifest.Table)
+		if tb == nil {
+			continue // widths already reports the missing table
+		}
+		if tb.HasSize && uint64(len(lv.entries)) > tb.Size {
+			report(diag(prog.File, tb.SizePos, "tables", "table %s size %d does not cover its %d rule entries", tb.Name, tb.Size, len(lv.entries)))
+		}
+		if len(lv.entries) != lv.manifest.Rules {
+			report(diag(lv.rulesPath, Pos{Line: 1, Col: 1}, "tables", "rule file installs %d entries but the manifest compiled %d rules", len(lv.entries), lv.manifest.Rules))
+		}
+
+		// Declared widths of the key fields, for value-range checks.
+		sc := r.newScope(ctrl.Params, ctrl)
+		width := map[string]int{}
+		for i := range tb.Keys {
+			if f, ok := sc.fieldOf(tb.Keys[i].Expr); ok {
+				width[f.Name] = f.Type.Width
+			}
+		}
+
+		seenPriority := map[int]int{}
+		for _, e := range lv.entries {
+			if len(e.Fields) != len(tb.Keys) {
+				report(diag(lv.rulesPath, Pos{Line: e.Line, Col: 1}, "tables", "rule entry matches %d fields but table %s has %d keys", len(e.Fields), tb.Name, len(tb.Keys)))
+			}
+			if prev, dup := seenPriority[e.Priority]; dup && e.Priority >= 0 {
+				report(diag(lv.rulesPath, Pos{Line: e.Line, Col: 1}, "tables", "duplicate priority %d (first used on line %d)", e.Priority, prev))
+			} else {
+				seenPriority[e.Priority] = e.Line
+			}
+			for _, f := range e.Fields {
+				w, ok := width[f.Name]
+				if !ok {
+					continue // nameres reports unknown fields
+				}
+				if f.Hi < f.Lo {
+					report(diag(lv.rulesPath, Pos{Line: e.Line, Col: 1}, "tables", "field %s range %d..%d is empty", f.Name, f.Lo, f.Hi))
+					continue
+				}
+				if w < 1 || w > 63 {
+					continue
+				}
+				if limit := uint64(1) << w; f.Hi >= limit {
+					report(diag(lv.rulesPath, Pos{Line: e.Line, Col: 1}, "tables", "field %s value %d does not fit its declared bit<%d> key", f.Name, f.Hi, w))
+					continue
+				}
+				// The range must expand into a valid prefix set that
+				// tiles exactly the interval within the 2w−2 bound —
+				// the TCAM installability contract.
+				rg := rules.IntRange{Lo: f.Lo, Hi: f.Hi}
+				ps := rules.RangeToPrefixes(rg, w)
+				if len(ps) > rules.MaxRangeExpansion(w) {
+					report(diag(lv.rulesPath, Pos{Line: e.Line, Col: 1}, "tables", "field %s range %d..%d expands into %d prefixes, above the %d bound for bit<%d>", f.Name, f.Lo, f.Hi, len(ps), rules.MaxRangeExpansion(w), w))
+				}
+				if !rules.PrefixesCoverExactly(ps, w, rg) {
+					report(diag(lv.rulesPath, Pos{Line: e.Line, Col: 1}, "tables", "field %s range %d..%d prefix expansion does not reproduce the interval", f.Name, f.Lo, f.Hi))
+				}
+			}
+		}
+	}
+}
+
+func isPow2(n uint64) bool { return n > 0 && n&(n-1) == 0 }

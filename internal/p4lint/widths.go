@@ -1,0 +1,184 @@
+package p4lint
+
+import "iguard/internal/analysis"
+
+// Widths checks that declared field bit-widths agree with the rule
+// set's quantisation bits and with the FlowKey/feature encoding: every
+// whitelist key field is declared at exactly the quantiser's bit width,
+// the blacklist exact key spans the 104-bit FlowKey, the digest layout
+// is the 13-byte flow id plus 1-bit label, and the packet-count
+// threshold fits its register width.
+var Widths = &Analyzer{
+	Name: "widths",
+	Doc:  "declared bit-widths must match the quantiser bits and the FlowKey/feature encoding",
+	Run:  runWidths,
+}
+
+// flowKeyBits is the canonical 5-tuple width: 32+32+16+16+8.
+const flowKeyBits = 104
+
+// digestLayout is the iGuard digest contract (App. B.2): 13-byte flow
+// id then a 1-bit label.
+var digestLayout = []int{32, 32, 16, 16, 8, 1}
+
+func runWidths(b *Bundle, report func(analysis.Diagnostic)) {
+	if b.Program == nil {
+		return
+	}
+	prog := b.Program
+	r := newResolver(prog)
+
+	// Whitelist key fields: declared width must equal the quantiser
+	// bits of the corresponding feature, from both the manifest and the
+	// quant-config artefact.
+	for _, lv := range b.levels() {
+		ctrl, tb := b.findTable(lv.manifest.Table)
+		if tb == nil {
+			report(diag(b.ManifestPath, Pos{Line: 1, Col: 1}, "widths", "manifest names table %q which the program does not declare", lv.manifest.Table))
+			continue
+		}
+		sc := r.newScope(ctrl.Params, ctrl)
+		declared := map[string]*Field{}
+		for i := range tb.Keys {
+			if f, ok := sc.fieldOf(tb.Keys[i].Expr); ok {
+				declared[f.Name] = f
+			}
+		}
+		mf := lv.manifest
+		if len(mf.Fields) != len(mf.Quantizer.Bits) {
+			report(diag(b.ManifestPath, Pos{Line: 1, Col: 1}, "widths", "manifest %s table lists %d fields but %d bit widths", lv.name, len(mf.Fields), len(mf.Quantizer.Bits)))
+			continue
+		}
+		for i, name := range mf.Fields {
+			f, ok := declared[name]
+			if !ok {
+				report(diag(prog.File, tb.Pos, "widths", "table %s has no key field %q named by the manifest", tb.Name, name))
+				continue
+			}
+			if f.Type.Width != mf.Quantizer.Bits[i] {
+				report(diag(prog.File, f.Pos, "widths", "field %s declared bit<%d> but the %s quantizer uses %d bits", name, f.Type.Width, lv.name, mf.Quantizer.Bits[i]))
+			}
+		}
+		for _, q := range lv.quant {
+			for i, name := range mf.Fields {
+				if name == q.Name && q.Bits != mf.Quantizer.Bits[i] {
+					report(diag(lv.quantPath, Pos{Line: q.Line, Col: 1}, "widths", "quantize line declares %d bits for %s, manifest says %d", q.Bits, q.Name, mf.Quantizer.Bits[i]))
+				}
+			}
+		}
+	}
+
+	// Blacklist: the all-exact-key table must match on the full
+	// 104-bit FlowKey.
+	for _, cd := range prog.Controls {
+		sc := r.newScope(cd.Params, cd)
+		for _, tb := range cd.Tables {
+			if len(tb.Keys) == 0 || !allExact(tb) {
+				continue
+			}
+			total, known := 0, true
+			for i := range tb.Keys {
+				f, ok := sc.fieldOf(tb.Keys[i].Expr)
+				if !ok {
+					known = false
+					break
+				}
+				total += f.Type.Width
+			}
+			if known && total != flowKeyBits {
+				report(diag(prog.File, tb.Pos, "widths", "exact-match table %s keys span %d bits; the FlowKey 5-tuple is %d", tb.Name, total, flowKeyBits))
+			}
+		}
+
+		// Digest layout: any Digest<T> instantiation with a declared
+		// struct argument must follow the 13-byte-id + 1-bit-label
+		// contract.
+		for _, inst := range cd.Insts {
+			if inst.Type.Name != "Digest" || len(inst.Type.Args) != 1 {
+				continue
+			}
+			sd, ok := r.types[inst.Type.Args[0].Name]
+			if !ok {
+				report(diag(prog.File, inst.Pos, "widths", "digest type %q is not declared in the program", inst.Type.Args[0].Name))
+				continue
+			}
+			if !matchesLayout(sd, digestLayout) {
+				report(diag(prog.File, sd.Pos, "widths", "digest struct %s does not follow the 13-byte flow id + 1-bit label layout %v", sd.Name, digestLayout))
+			}
+		}
+	}
+
+	// The packet-count threshold must fit the pkt_count register width.
+	if f := findMetaField(b, "pkt_count"); f != nil && f.Type.IsBit() && f.Type.Width < 63 {
+		if max := uint64(1)<<f.Type.Width - 1; uint64(b.Manifest.PktThreshold) > max {
+			report(diag(prog.File, f.Pos, "widths", "pkt_threshold %d does not fit bit<%d> pkt_count (max %d)", b.Manifest.PktThreshold, f.Type.Width, max))
+		}
+	}
+}
+
+// allExact reports whether every key of the table is an exact match.
+func allExact(tb *TableDecl) bool {
+	for _, k := range tb.Keys {
+		if k.MatchKind != "exact" {
+			return false
+		}
+	}
+	return true
+}
+
+// matchesLayout reports whether the struct's fields are exactly the
+// given bit widths in order.
+func matchesLayout(sd *StructDecl, layout []int) bool {
+	if len(sd.Fields) != len(layout) {
+		return false
+	}
+	for i, f := range sd.Fields {
+		if !f.Type.IsBit() || f.Type.Width != layout[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// findMetaField locates a field of the whitelist tables' metadata
+// struct by name, via the FL table's key root.
+func findMetaField(b *Bundle, name string) *Field {
+	if b.Manifest.FL == nil {
+		return nil
+	}
+	ctrl, tb := b.findTable(b.Manifest.FL.Table)
+	if tb == nil || len(tb.Keys) == 0 {
+		return nil
+	}
+	r := newResolver(b.Program)
+	sc := r.newScope(ctrl.Params, ctrl)
+	root := rootIdent(tb.Keys[0].Expr)
+	if root == "" {
+		return nil
+	}
+	t, ok := sc.params[root]
+	if !ok {
+		return nil
+	}
+	sd, ok := r.types[t.Name]
+	if !ok {
+		return nil
+	}
+	return sd.Field(name)
+}
+
+// rootIdent returns the base identifier of a member chain.
+func rootIdent(e Expr) string {
+	for {
+		switch v := e.(type) {
+		case *Ident:
+			return v.Name
+		case *Member:
+			e = v.X
+		case *IndexExpr:
+			e = v.X
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package rules
+
+import "testing"
+
+// TestPrefixValid pins the well-formedness predicate the p4lint tables
+// analyzer relies on.
+func TestPrefixValid(t *testing.T) {
+	cases := []struct {
+		p     Prefix
+		width int
+		want  bool
+	}{
+		{Prefix{Value: 0, MaskBits: 0}, 8, true},    // full wildcard
+		{Prefix{Value: 7, MaskBits: 8}, 8, true},    // host prefix
+		{Prefix{Value: 8, MaskBits: 5}, 8, true},    // aligned block
+		{Prefix{Value: 9, MaskBits: 5}, 8, false},   // wildcard bit set
+		{Prefix{Value: 256, MaskBits: 8}, 8, false}, // value exceeds width
+		{Prefix{Value: 0, MaskBits: 9}, 8, false},   // mask exceeds width
+		{Prefix{Value: 0, MaskBits: -1}, 8, false},  // negative mask
+		{Prefix{Value: 0, MaskBits: 0}, 0, false},   // unrepresentable width
+		{Prefix{Value: 0, MaskBits: 0}, 64, false},  // width beyond uint64 guard
+		{Prefix{Value: 1, MaskBits: 63}, 63, true},  // max supported width
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(c.width); got != c.want {
+			t.Errorf("Prefix%+v.Valid(%d) = %v, want %v", c.p, c.width, got, c.want)
+		}
+	}
+}
+
+func TestPrefixRange(t *testing.T) {
+	if r := (Prefix{Value: 8, MaskBits: 5}).Range(8); r != (IntRange{8, 15}) {
+		t.Errorf("block range = %+v", r)
+	}
+	if r := (Prefix{Value: 7, MaskBits: 8}).Range(8); r != (IntRange{7, 7}) {
+		t.Errorf("host range = %+v", r)
+	}
+	if r := (Prefix{Value: 0, MaskBits: 0}).Range(8); r != (IntRange{0, 255}) {
+		t.Errorf("wildcard range = %+v", r)
+	}
+}
+
+// TestRangeExpansionBoundaries pins the boundary shapes the ISSUE names:
+// the full domain (one wildcard), a single value (one host prefix), and
+// worst-case ranges at the maximum quantisation width, all within the
+// 2w−2 expansion bound and exactly tiling their interval.
+func TestRangeExpansionBoundaries(t *testing.T) {
+	// Full domain at every width up to the 63-bit representation cap.
+	for _, w := range []int{1, 4, 12, 32, 63} {
+		full := IntRange{0, uint64(1)<<w - 1}
+		ps := RangeToPrefixes(full, w)
+		if len(ps) != 1 || ps[0].MaskBits != 0 {
+			t.Errorf("width %d full domain = %+v, want one wildcard", w, ps)
+		}
+		if !PrefixesCoverExactly(ps, w, full) {
+			t.Errorf("width %d full domain does not tile", w)
+		}
+	}
+	// Single values, including the domain edges.
+	for _, w := range []int{1, 12, 32, 63} {
+		top := uint64(1)<<w - 1
+		for _, v := range []uint64{0, top / 2, top} {
+			one := IntRange{v, v}
+			ps := RangeToPrefixes(one, w)
+			if len(ps) != 1 || ps[0].MaskBits != w || ps[0].Value != v {
+				t.Errorf("width %d value %d = %+v, want one host prefix", w, v, ps)
+			}
+			if !PrefixesCoverExactly(ps, w, one) {
+				t.Errorf("width %d value %d does not tile", w, v)
+			}
+		}
+	}
+	// The classic worst case [1, 2^w−2] hits the 2w−2 bound exactly,
+	// including at the maximum quantisation width the compiler accepts.
+	for _, w := range []int{2, 4, 12, 32} {
+		worst := IntRange{1, uint64(1)<<w - 2}
+		ps := RangeToPrefixes(worst, w)
+		if want := MaxRangeExpansion(w); len(ps) != want {
+			t.Errorf("width %d worst case = %d prefixes, want %d", w, len(ps), want)
+		}
+		if !PrefixesCoverExactly(ps, w, worst) {
+			t.Errorf("width %d worst case does not tile", w)
+		}
+	}
+	if MaxRangeExpansion(1) != 1 || MaxRangeExpansion(0) != 1 {
+		t.Error("degenerate widths must bound to 1")
+	}
+}
+
+// TestExpansionBoundExhaustive checks every range of small widths stays
+// within MaxRangeExpansion and tiles exactly.
+func TestExpansionBoundExhaustive(t *testing.T) {
+	for w := 1; w <= 6; w++ {
+		top := uint64(1)<<w - 1
+		for lo := uint64(0); lo <= top; lo++ {
+			for hi := lo; hi <= top; hi++ {
+				r := IntRange{lo, hi}
+				ps := RangeToPrefixes(r, w)
+				if len(ps) > MaxRangeExpansion(w) {
+					t.Fatalf("width %d range %d..%d expands to %d > bound %d", w, lo, hi, len(ps), MaxRangeExpansion(w))
+				}
+				if !PrefixesCoverExactly(ps, w, r) {
+					t.Fatalf("width %d range %d..%d does not tile exactly", w, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestPrefixesCoverExactlyRejects pins the rejection cases: gaps,
+// overlaps, out-of-order blocks, overshoot, and invalid prefixes.
+func TestPrefixesCoverExactlyRejects(t *testing.T) {
+	r := IntRange{0, 7}
+	host := func(v uint64) Prefix { return Prefix{Value: v, MaskBits: 4} }
+	if PrefixesCoverExactly([]Prefix{host(0), host(2)}, 4, IntRange{0, 2}) {
+		t.Error("gap accepted")
+	}
+	if PrefixesCoverExactly([]Prefix{{Value: 0, MaskBits: 1}, {Value: 4, MaskBits: 2}}, 4, r) {
+		t.Error("overlap accepted")
+	}
+	if PrefixesCoverExactly([]Prefix{{Value: 4, MaskBits: 2}, {Value: 0, MaskBits: 2}}, 4, r) {
+		t.Error("out-of-order accepted")
+	}
+	if PrefixesCoverExactly([]Prefix{{Value: 0, MaskBits: 0}}, 4, r) {
+		t.Error("overshoot accepted")
+	}
+	if PrefixesCoverExactly([]Prefix{{Value: 1, MaskBits: 2}}, 4, IntRange{0, 3}) {
+		t.Error("invalid prefix accepted")
+	}
+	if !PrefixesCoverExactly(nil, 4, IntRange{5, 2}) {
+		t.Error("empty set must cover the empty range")
+	}
+	if PrefixesCoverExactly(nil, 4, IntRange{0, 1}) {
+		t.Error("empty set accepted for a non-empty range")
+	}
+	// Extra prefixes after reaching the upper bound are rejected.
+	if PrefixesCoverExactly([]Prefix{{Value: 0, MaskBits: 2}, {Value: 4, MaskBits: 2}}, 4, IntRange{0, 3}) {
+		t.Error("trailing prefix accepted")
+	}
+}

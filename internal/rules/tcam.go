@@ -162,6 +162,65 @@ func RangeToPrefixes(r IntRange, width int) []Prefix {
 	return out
 }
 
+// Valid reports whether the prefix is well-formed at the given width:
+// the mask length lies in [0, width], width is representable, the value
+// fits the width, and every wildcarded (low) bit of the value is zero.
+func (p Prefix) Valid(width int) bool {
+	if width < 1 || width > 63 || p.MaskBits < 0 || p.MaskBits > width {
+		return false
+	}
+	if p.Value >= uint64(1)<<width {
+		return false
+	}
+	wild := uint64(1)<<(width-p.MaskBits) - 1
+	return p.Value&wild == 0
+}
+
+// Range returns the inclusive integer interval a valid prefix covers.
+func (p Prefix) Range(width int) IntRange {
+	size := uint64(1) << (width - p.MaskBits)
+	base := p.Value &^ (size - 1)
+	return IntRange{Lo: base, Hi: base + size - 1}
+}
+
+// MaxRangeExpansion returns the worst-case prefix count of expanding
+// one w-bit range: the classic 2w−2 bound (1 for w ≤ 1).
+func MaxRangeExpansion(width int) int {
+	if width <= 1 {
+		return 1
+	}
+	return 2*width - 2
+}
+
+// PrefixesCoverExactly reports whether ps tiles exactly [r.Lo, r.Hi]:
+// every prefix valid at the width, blocks contiguous in ascending
+// order with no overlap, and the union equal to the range. This is the
+// introspection hook p4lint uses to verify emitted rule entries against
+// the expansion that should have produced them.
+func PrefixesCoverExactly(ps []Prefix, width int, r IntRange) bool {
+	if r.Hi < r.Lo || len(ps) == 0 {
+		return len(ps) == 0 && r.Hi < r.Lo
+	}
+	next := r.Lo
+	for i, p := range ps {
+		if !p.Valid(width) {
+			return false
+		}
+		pr := p.Range(width)
+		if pr.Lo != next {
+			return false
+		}
+		if pr.Hi == r.Hi {
+			return i == len(ps)-1
+		}
+		if pr.Hi > r.Hi {
+			return false
+		}
+		next = pr.Hi + 1
+	}
+	return false
+}
+
 // TCAMEntries returns the number of TCAM entries rule r occupies after
 // per-field prefix expansion: the product of per-field prefix counts
 // (multi-field ranges cross-multiply in a prefix-encoded TCAM).

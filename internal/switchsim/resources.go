@@ -65,6 +65,28 @@ func (u Usage) Add(o Usage) Usage {
 	}
 }
 
+// Over lists a human-readable description of every dimension in which
+// u exceeds b; an empty slice means the deployment fits the switch.
+func (u Usage) Over(b Budget) []string {
+	var out []string
+	if u.Stages > b.Stages {
+		out = append(out, fmt.Sprintf("stages %d exceed the %d-stage budget", u.Stages, b.Stages))
+	}
+	if u.TCAMBits > b.TCAMBits {
+		out = append(out, fmt.Sprintf("TCAM %d bits exceed the %d-bit budget", u.TCAMBits, b.TCAMBits))
+	}
+	if u.SRAMBits > b.SRAMBits {
+		out = append(out, fmt.Sprintf("SRAM %d bits exceed the %d-bit budget", u.SRAMBits, b.SRAMBits))
+	}
+	if u.SALUs > b.SALUs {
+		out = append(out, fmt.Sprintf("%d stateful ALUs exceed the budget of %d", u.SALUs, b.SALUs))
+	}
+	if u.VLIWs > b.VLIWs {
+		out = append(out, fmt.Sprintf("%d VLIW action slots exceed the budget of %d", u.VLIWs, b.VLIWs))
+	}
+	return out
+}
+
 // Report expresses usage as fractions of a budget — the form Table 1
 // reports.
 type Report struct {
