@@ -1,6 +1,6 @@
 # Convenience targets for the iGuard reproduction.
 
-.PHONY: build test bench bench-parallel bench-serve bench-rules eval eval-quick examples fmt vet vet-hotpath lint fix sarif race p4lint
+.PHONY: build test bench bench-parallel bench-serve bench-batch bench-rules eval eval-quick examples fmt vet vet-hotpath lint fix sarif race race-batch p4lint
 
 build:
 	go build ./...
@@ -21,6 +21,13 @@ bench-parallel:
 # sharded ingest rate at 1/2/4/8 shards (pps metric per sub-benchmark).
 bench-serve:
 	go test -bench 'BenchmarkProcessPacket|BenchmarkServeThroughput' -benchmem -run '^$$' ./internal/serve
+
+# Batch-path benchmarks: the switch batch pass, the feature-major
+# batch matcher vs per-code matching, and batched vs unbatched
+# end-to-end serve throughput.
+bench-batch:
+	go test -bench 'BenchmarkProcessBatch|BenchmarkServeThroughput' -benchmem -run '^$$' ./internal/serve
+	go test -bench 'BenchmarkMatchColumns' -benchmem -run '^$$' ./internal/rules
 
 # Whitelist matcher microbenchmarks: bit-vector index vs the linear
 # reference scan at 16/128/1024 rules, plus compile cost.
@@ -81,3 +88,8 @@ p4lint:
 # the evaluation pipeline under the detector).
 race:
 	go test -race ./...
+
+# Focused race pass over the batch hand-off machinery (producer-side
+# batching, flush deadlines, buffer pool recycling, batch equivalence).
+race-batch:
+	go test -race -run 'Batch|Flush' ./internal/serve ./internal/switchsim

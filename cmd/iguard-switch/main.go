@@ -44,6 +44,8 @@ func main() {
 		shards     = flag.Int("shards", 1, "shard worker count for the replay")
 		queue      = flag.Int("queue", 1024, "per-shard mailbox depth")
 		dropPolicy = flag.String("drop-policy", "block", "backpressure policy: block or drop")
+		batchSize  = flag.Int("batch", 64, "per-shard hand-off batch size (0 or 1 serves per packet)")
+		batchFlush = flag.Duration("batch-flush", 0, "trace-time flush deadline for partial batches (0 = 1ms when batching)")
 	)
 	flag.Parse()
 
@@ -89,6 +91,8 @@ func main() {
 	cfg.Shards = *shards
 	cfg.QueueDepth = *queue
 	cfg.Policy = policy
+	cfg.BatchSize = *batchSize
+	cfg.BatchFlush = *batchFlush
 	cfg.OnDecision = func(_ int, seq uint64, p *iguard.Packet, d switchsim.Decision) {
 		preds[seq] = d.Predicted
 		scores[seq] = float64(d.Predicted)
@@ -145,7 +149,10 @@ func matcherInfo(c *rules.CompiledRuleSet) string {
 // shardUsage reports the resource footprint of one shard's switch —
 // every shard is configured identically, so one is representative.
 func shardUsage(det *iguard.Detector) switchsim.Usage {
-	dep := det.NewDeployment(iguard.DefaultDeployConfig())
+	dep, err := det.NewDeployment(iguard.DefaultDeployConfig())
+	if err != nil {
+		fatal(err)
+	}
 	defer dep.Close()
 	return dep.Switch.Usage()
 }

@@ -35,7 +35,10 @@ func main() {
 	}
 
 	// Deploy: switch plus controller with LRU blacklist eviction.
-	dep := det.NewDeployment(iguard.DefaultDeployConfig())
+	dep, err := det.NewDeployment(iguard.DefaultDeployConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer dep.Close()
 	sw := dep.Switch
 

@@ -15,7 +15,7 @@
 //
 //	det, err := iguard.Train(benignPackets, iguard.DefaultConfig())
 //	verdict := det.ClassifyFlow(flowFeatures) // 0 benign, 1 malicious
-//	dep := det.NewDeployment(iguard.DefaultDeployConfig())
+//	dep, err := det.NewDeployment(iguard.DefaultDeployConfig())
 //
 // Training is deterministic and parallel: Config.Parallelism bounds
 // the worker pool fanned out across grid-search candidates, ensemble
@@ -546,6 +546,27 @@ type DeployConfig struct {
 	DropMalicious bool
 }
 
+// Validate reports every configuration error at once, in the same
+// joined-error style as Config.Validate. Zero values are valid (they
+// select the documented defaults); negatives and unknown enum values
+// are not. NewDeployment calls it.
+func (c DeployConfig) Validate() error {
+	var errs []error
+	add := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf("iguard: deploy config: "+format, args...))
+	}
+	if c.Slots < 0 {
+		add("Slots must be non-negative (0 means default), got %d", c.Slots)
+	}
+	if c.BlacklistCapacity < 0 {
+		add("BlacklistCapacity must be non-negative (0 means default), got %d", c.BlacklistCapacity)
+	}
+	if c.Eviction != controller.FIFO && c.Eviction != controller.LRU {
+		add("Eviction must be controller.FIFO or controller.LRU, got %d", c.Eviction)
+	}
+	return errors.Join(errs...)
+}
+
 // DefaultDeployConfig returns the evaluation's deployment parameters.
 func DefaultDeployConfig() DeployConfig {
 	return DeployConfig{Slots: 8192, BlacklistCapacity: 8192, Eviction: controller.LRU, DropMalicious: true}
@@ -578,9 +599,19 @@ type DeploymentStats struct {
 	BlacklistLen int
 }
 
-// NewDeployment installs the detector's whitelist on a simulated
-// switch wired to a fresh controller, both ready to process packets.
-func (d *Detector) NewDeployment(cfg DeployConfig) *Deployment {
+// NewDeployment validates the config and installs the detector's
+// whitelist on a simulated switch wired to a fresh controller, both
+// ready to process packets. The error is cfg.Validate()'s joined
+// report; a validated config always deploys.
+func (d *Detector) NewDeployment(cfg DeployConfig) (*Deployment, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return d.newDeployment(cfg), nil
+}
+
+// newDeployment builds the pair from an already-validated config.
+func (d *Detector) newDeployment(cfg DeployConfig) *Deployment {
 	sw := switchsim.New(switchsim.Config{
 		Slots:             cfg.Slots,
 		PktThreshold:      d.cfg.FlowThreshold,
@@ -632,12 +663,18 @@ func (dep *Deployment) Close() error {
 }
 
 // Deploy installs the detector's whitelist on a simulated switch wired
-// to a fresh controller, both ready to process packets.
+// to a fresh controller, both ready to process packets. On an invalid
+// config it returns (nil, nil); NewDeployment reports what was wrong.
 //
-// Deprecated: use NewDeployment, which returns a *Deployment carrying
-// the same pair plus Close and Stats.
+// Deprecated: use NewDeployment, which validates the config, reports
+// errors, and returns a *Deployment carrying the same pair plus Close
+// and Stats. No in-tree caller uses this shim; it remains only for
+// external code written against the tuple form.
 func (d *Detector) Deploy(cfg DeployConfig) (*switchsim.Switch, *controller.Controller) {
-	dep := d.NewDeployment(cfg)
+	dep, err := d.NewDeployment(cfg)
+	if err != nil {
+		return nil, nil
+	}
 	return dep.Switch, dep.Controller
 }
 
@@ -658,6 +695,16 @@ type ServeConfig struct {
 	// SweepEvery is the trace-time cadence of per-shard timeout
 	// sweeps; zero disables them.
 	SweepEvery time.Duration
+	// BatchSize, when > 1, switches the ingest→decide path to batch
+	// hand-off: packets accumulate into per-shard batches delivered as
+	// one mailbox operation and decided by one batch pipeline pass.
+	// Decisions are identical to the per-packet path; only the
+	// per-packet overhead is amortised. 0 or 1 serves per packet.
+	BatchSize int
+	// BatchFlush bounds, in trace time, how long a partial batch may
+	// wait before being handed off (0 = 1ms when batching is on). See
+	// serve.Config.BatchFlush.
+	BatchFlush time.Duration
 	// OnDecision observes every processed packet; see serve.Config.
 	OnDecision func(shard int, seq uint64, p *Packet, d switchsim.Decision)
 	// Now supplies wall time for throughput stats; nil reports rates
@@ -666,25 +713,65 @@ type ServeConfig struct {
 	Now func() time.Time
 }
 
+// Validate reports every configuration error at once, in the same
+// joined-error style as Config.Validate, folding in the per-shard
+// DeployConfig's own report. NewServer calls it.
+func (c ServeConfig) Validate() error {
+	var errs []error
+	add := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf("iguard: serve config: "+format, args...))
+	}
+	if c.Deploy != (DeployConfig{}) {
+		if err := c.Deploy.Validate(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if c.Shards < 0 {
+		add("Shards must be non-negative (0 means 1), got %d", c.Shards)
+	}
+	if c.QueueDepth < 0 {
+		add("QueueDepth must be non-negative (0 means default), got %d", c.QueueDepth)
+	}
+	if c.BatchSize < 0 {
+		add("BatchSize must be non-negative (0 means unbatched), got %d", c.BatchSize)
+	}
+	if c.BatchSize > serve.MaxBatchSize {
+		add("BatchSize must be at most %d, got %d", serve.MaxBatchSize, c.BatchSize)
+	}
+	if c.BatchFlush < 0 {
+		add("BatchFlush must be non-negative (0 means default), got %v", c.BatchFlush)
+	}
+	if c.BatchFlush > 0 && c.BatchSize <= 1 {
+		add("BatchFlush (%v) requires BatchSize > 1, got %d", c.BatchFlush, c.BatchSize)
+	}
+	return errors.Join(errs...)
+}
+
 // DefaultServeConfig returns a serving configuration matching the
 // evaluation's deployment on four shards with trace-paced sweeps at
-// the flow-timeout cadence.
+// the flow-timeout cadence and batched hand-off (64-packet batches,
+// 1ms trace-time flush deadline).
 func DefaultServeConfig() ServeConfig {
 	return ServeConfig{
 		Deploy:     DefaultDeployConfig(),
 		Shards:     4,
 		SweepEvery: 5 * time.Second,
+		BatchSize:  64,
 	}
 }
 
-// NewServer builds the sharded streaming runtime for this detector:
-// each shard owns a private deployment (switch + controller) carrying
-// the detector's compiled whitelist, and packets are hash-partitioned
-// by flow so the single-goroutine data-plane contract holds without
-// hot-path locks. Swap a newly loaded model into the running server
-// with srv.Swap(nil, newDet.CompiledRules()). See the serve package
-// for the full concurrency contract.
+// NewServer validates the config and builds the sharded streaming
+// runtime for this detector: each shard owns a private deployment
+// (switch + controller) carrying the detector's compiled whitelist,
+// and packets are hash-partitioned by flow so the single-goroutine
+// data-plane contract holds without hot-path locks. Swap a newly
+// loaded model into the running server with srv.Swap(nil,
+// newDet.CompiledRules()). See the serve package for the full
+// concurrency contract and the batch hand-off semantics.
 func (d *Detector) NewServer(cfg ServeConfig) (*serve.Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Deploy == (DeployConfig{}) {
 		cfg.Deploy = DefaultDeployConfig()
 	}
@@ -693,10 +780,14 @@ func (d *Detector) NewServer(cfg ServeConfig) (*serve.Server, error) {
 		QueueDepth: cfg.QueueDepth,
 		Policy:     cfg.Policy,
 		SweepEvery: cfg.SweepEvery,
+		BatchSize:  cfg.BatchSize,
+		BatchFlush: cfg.BatchFlush,
 		OnDecision: cfg.OnDecision,
 		Now:        cfg.Now,
 		NewShard: func(int) serve.Shard {
-			dep := d.NewDeployment(cfg.Deploy)
+			// Deploy was validated above, so the unchecked builder is
+			// safe here.
+			dep := d.newDeployment(cfg.Deploy)
 			return serve.Shard{Switch: dep.Switch, Controller: dep.Controller}
 		},
 	})

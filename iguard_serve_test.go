@@ -16,7 +16,10 @@ import (
 // of waiting for a colliding flow to evict them.
 func TestDeploymentSweep(t *testing.T) {
 	det := trainTiny(t)
-	dep := det.NewDeployment(DefaultDeployConfig())
+	dep, err := det.NewDeployment(DefaultDeployConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer func() {
 		if err := dep.Close(); err != nil {
 			t.Fatal(err)
@@ -109,7 +112,10 @@ func TestNewServerDecisionsMatchDeployment(t *testing.T) {
 	det := trainTiny(t)
 	trace := traffic.GenerateBenign(33, 30).Merge(traffic.MustGenerateAttack(traffic.Mirai, 34, 8))
 
-	dep := det.NewDeployment(DefaultDeployConfig())
+	dep, err := det.NewDeployment(DefaultDeployConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer func() {
 		if err := dep.Close(); err != nil {
 			t.Fatal(err)

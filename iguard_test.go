@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 
 	"iguard/internal/features"
+	"iguard/internal/serve"
 	"iguard/internal/switchsim"
 	"iguard/internal/traffic"
 )
@@ -167,7 +169,10 @@ func TestWriteRules(t *testing.T) {
 
 func TestDeployEndToEnd(t *testing.T) {
 	det := trainTiny(t)
-	dep := det.NewDeployment(DefaultDeployConfig())
+	dep, err := det.NewDeployment(DefaultDeployConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer dep.Close()
 	sw := dep.Switch
 
@@ -198,7 +203,8 @@ func TestDeployEndToEnd(t *testing.T) {
 }
 
 // TestDeployDeprecatedWrapper pins the legacy tuple signature to the
-// same pair NewDeployment builds.
+// same pair NewDeployment builds, including the nil-pair answer for a
+// config NewDeployment would reject.
 func TestDeployDeprecatedWrapper(t *testing.T) {
 	det := trainTiny(t)
 	sw, ctrl := det.Deploy(DefaultDeployConfig())
@@ -212,11 +218,75 @@ func TestDeployDeprecatedWrapper(t *testing.T) {
 	if sw.ActiveFlows() == 0 {
 		t.Error("wrapper switch is not wired up")
 	}
+	if sw, ctrl := det.Deploy(DeployConfig{Slots: -1}); sw != nil || ctrl != nil {
+		t.Error("Deploy of an invalid config returned non-nil components")
+	}
+}
+
+// TestDeployConfigValidate covers the deployment validator: every
+// broken field reported at once, and NewDeployment refusing the lot.
+func TestDeployConfigValidate(t *testing.T) {
+	err := DeployConfig{Slots: -1, BlacklistCapacity: -2, Eviction: 99}.Validate()
+	if err == nil {
+		t.Fatal("nonsense deploy config validated")
+	}
+	for _, want := range []string{"Slots", "BlacklistCapacity", "Eviction"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q missing %s", err, want)
+		}
+	}
+	if err := DefaultDeployConfig().Validate(); err != nil {
+		t.Errorf("default deploy config rejected: %v", err)
+	}
+	if err := (DeployConfig{}).Validate(); err != nil {
+		t.Errorf("zero deploy config rejected: %v", err)
+	}
+	det := trainTiny(t)
+	if dep, err := det.NewDeployment(DeployConfig{Slots: -1}); err == nil || dep != nil {
+		t.Errorf("NewDeployment accepted an invalid config (dep=%v err=%v)", dep, err)
+	}
+}
+
+// TestServeConfigValidate covers the serving validator, including the
+// batch-size hygiene the batch redesign added and the nested deploy
+// report.
+func TestServeConfigValidate(t *testing.T) {
+	err := ServeConfig{
+		Deploy:     DeployConfig{Slots: -1},
+		Shards:     -1,
+		QueueDepth: -1,
+		BatchSize:  -2,
+		BatchFlush: -time.Second,
+	}.Validate()
+	if err == nil {
+		t.Fatal("nonsense serve config validated")
+	}
+	for _, want := range []string{"Slots", "Shards", "QueueDepth", "BatchSize", "BatchFlush"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q missing %s", err, want)
+		}
+	}
+	if err := DefaultServeConfig().Validate(); err != nil {
+		t.Errorf("default serve config rejected: %v", err)
+	}
+	if err := (ServeConfig{BatchSize: serve.MaxBatchSize + 1}).Validate(); err == nil {
+		t.Error("oversized BatchSize validated")
+	}
+	if err := (ServeConfig{BatchFlush: time.Millisecond}).Validate(); err == nil {
+		t.Error("BatchFlush without batching validated")
+	}
+	det := trainTiny(t)
+	if srv, err := det.NewServer(ServeConfig{BatchSize: -1}); err == nil || srv != nil {
+		t.Errorf("NewServer accepted an invalid config (srv=%v err=%v)", srv, err)
+	}
 }
 
 func TestDeploymentCloseDetachesController(t *testing.T) {
 	det := trainTiny(t)
-	dep := det.NewDeployment(DefaultDeployConfig())
+	dep, err := det.NewDeployment(DefaultDeployConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := dep.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}

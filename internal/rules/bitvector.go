@@ -37,8 +37,14 @@ type bvFeature struct {
 	// levels is the feature's quantisation level count; codes at or
 	// beyond it lie outside every rule range.
 	levels uint64
-	// bitmaps holds the elementary-interval rule bitmaps, flattened:
-	// interval j occupies words [j*words, (j+1)*words).
+	// nivs is the elementary-interval count (== len(bounds)).
+	nivs int
+	// bitmaps holds the elementary-interval rule bitmaps flattened
+	// word-major ("plane" layout): word w of interval j lives at
+	// bitmaps[w*nivs+j]. Each plane is a contiguous nivs-word region,
+	// so the batch matcher's per-word pass over many packets stays
+	// inside one small cache-resident block per feature, while the
+	// single-packet matcher pays only a stride change.
 	bitmaps []uint64
 	// direct maps code → elementary-interval index; nil when levels
 	// exceeds bvDirectLevelCap.
@@ -123,6 +129,7 @@ func buildBVIndex(rs []TCAMRule, q *Quantizer) *bvIndex {
 		}
 		f := &ix.feats[i]
 		f.levels = levels
+		f.nivs = len(uniq)
 		f.bounds = append([]uint64(nil), uniq...)
 		f.bitmaps = make([]uint64, len(uniq)*words)
 		for ri, r := range rs {
@@ -131,7 +138,7 @@ func buildBVIndex(rs []TCAMRule, q *Quantizer) *bvIndex {
 			// Hi+1 is itself a boundary, so no interval straddles it.
 			for j := range f.bounds {
 				if f.bounds[j] >= rg.Lo && f.bounds[j] <= rg.Hi {
-					f.bitmaps[j*words+ri/64] |= 1 << (ri % 64)
+					f.bitmaps[(ri/64)*f.nivs+j] |= 1 << (ri % 64)
 				}
 			}
 		}

@@ -386,7 +386,7 @@ func (c *CompiledRuleSet) MatchCodes(codes []uint64) int {
 	for w := 0; w < words; w++ {
 		acc := ^uint64(0)
 		for i := range feats {
-			acc &= feats[i].bitmaps[int(rows[i])*words+w]
+			acc &= feats[i].bitmaps[w*feats[i].nivs+int(rows[i])]
 			if acc == 0 {
 				break
 			}

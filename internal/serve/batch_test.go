@@ -1,0 +1,417 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"iguard/internal/netpkt"
+	"iguard/internal/switchsim"
+)
+
+// seqRecorder captures every decision indexed by ingest sequence
+// number. Shards write disjoint seqs (a seq belongs to exactly one
+// packet, a packet to exactly one shard), so the slice needs no lock.
+type seqRecorder struct {
+	recs []decisionRecord
+	seen []bool
+}
+
+func newSeqRecorder(n int) *seqRecorder {
+	return &seqRecorder{recs: make([]decisionRecord, n), seen: make([]bool, n)}
+}
+
+func (r *seqRecorder) onDecision(_ int, seq uint64, _ *netpkt.Packet, d switchsim.Decision) {
+	r.recs[seq] = decisionRecord{Path: d.Path, Predicted: d.Predicted, Dropped: d.Dropped}
+	r.seen[seq] = true
+}
+
+// coreCounters projects the Stats fields that must be invariant under
+// batching (queue mechanics aside, the pipeline must do identical
+// work).
+type coreCounters struct {
+	Packets    int
+	PathCounts [6]int
+	Drops      int
+	Digests    int
+	Sweeps     int
+	Ticks      uint64
+}
+
+func coreOf(st Stats) coreCounters {
+	return coreCounters{
+		Packets:    st.Packets,
+		PathCounts: st.PathCounts,
+		Drops:      st.Drops,
+		Digests:    st.Digests,
+		Sweeps:     st.Sweeps,
+		Ticks:      st.Ticks,
+	}
+}
+
+// runBatched replays the shared trace through a server with the given
+// batch size (0 = unbatched) and returns the per-seq decisions plus
+// the core counters.
+func runBatched(t *testing.T, shards, batch int, pkts []netpkt.Packet) ([]decisionRecord, coreCounters, Stats) {
+	t.Helper()
+	rec := newSeqRecorder(len(pkts))
+	srv, err := New(Config{
+		Shards:     shards,
+		QueueDepth: 256,
+		Policy:     Block,
+		SweepEvery: 50 * time.Millisecond,
+		BatchSize:  batch,
+		NewShard:   testShardFactory(smallFlowsFL(700), 8, time.Hour),
+		OnDecision: rec.onDecision,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted, dropped, err := srv.ReplayBatch(context.Background(), NewTraceSource(pkts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 || accepted != uint64(len(pkts)) {
+		t.Fatalf("accepted=%d dropped=%d want accepted=%d dropped=0", accepted, dropped, len(pkts))
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	for seq, ok := range rec.seen {
+		if !ok {
+			t.Fatalf("seq %d never decided", seq)
+		}
+	}
+	return rec.recs, coreOf(st), st
+}
+
+// TestBatchDecisionsMatchUnbatched is the serving-layer equivalence
+// pin of the batch redesign: at every batch size × shard count, the
+// per-sequence decision stream and the pipeline counters must be
+// byte-identical to the unbatched path over the same trace — batching
+// changes how packets travel to the shards, never what is decided.
+func TestBatchDecisionsMatchUnbatched(t *testing.T) {
+	trace := mixedTrace(t)
+	for _, shards := range []int{1, 2, 8} {
+		base, baseCore, baseStats := runBatched(t, shards, 0, trace.Packets)
+		if baseStats.Ticks == 0 {
+			t.Fatal("trace never crossed a sweep tick; the ordering check is vacuous")
+		}
+		if baseStats.Batches != 0 {
+			t.Fatalf("unbatched run reported %d batches", baseStats.Batches)
+		}
+		for _, batch := range []int{1, 7, 64, 1024} {
+			t.Run(fmt.Sprintf("shards=%d/batch=%d", shards, batch), func(t *testing.T) {
+				got, gotCore, st := runBatched(t, shards, batch, trace.Packets)
+				for seq := range base {
+					if got[seq] != base[seq] {
+						t.Fatalf("seq %d: batched %+v, unbatched %+v", seq, got[seq], base[seq])
+					}
+				}
+				if gotCore != baseCore {
+					t.Errorf("core counters diverge: batched %+v, unbatched %+v", gotCore, baseCore)
+				}
+				if batch > 1 && st.Batches == 0 {
+					t.Error("batched run reported zero batch hand-offs")
+				}
+			})
+		}
+	}
+}
+
+// TestBatchFlushDeadline pins the latency bound: a packet parked in a
+// partial batch is handed off as soon as the trace clock advances
+// BatchFlush past the last flush point, without waiting for the batch
+// to fill or for an explicit Flush.
+func TestBatchFlushDeadline(t *testing.T) {
+	var decided atomic.Uint64
+	srv, err := New(Config{
+		Shards:     1,
+		BatchSize:  64,
+		BatchFlush: time.Millisecond,
+		Policy:     Block,
+		NewShard:   testShardFactory(acceptAllFL(), 8, time.Hour),
+		OnDecision: func(int, uint64, *netpkt.Packet, switchsim.Decision) { decided.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	base := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(at time.Duration) netpkt.Packet {
+		return netpkt.Packet{
+			Timestamp: base.Add(at),
+			SrcIP:     [4]byte{10, 0, 0, 1}, DstIP: [4]byte{23, 1, 0, 1},
+			SrcPort: 1000, DstPort: 80, Proto: netpkt.ProtoUDP, TTL: 64, Length: 120,
+		}
+	}
+	p1 := mk(0)
+	if _, err := srv.Ingest(&p1); err != nil {
+		t.Fatal(err)
+	}
+	// The batch is far from full and no deadline has passed: the packet
+	// must still be pending. (Deliberately not Stats: a stats request
+	// is itself a flush point.)
+	time.Sleep(10 * time.Millisecond)
+	if n := decided.Load(); n != 0 {
+		t.Fatalf("packet decided before any flush point (decided=%d)", n)
+	}
+	// A second packet 2ms of trace time later crosses the 1ms deadline:
+	// the pending batch (p1) must be handed off even though p2 opens a
+	// new one.
+	p2 := mk(2 * time.Millisecond)
+	if _, err := srv.Ingest(&p2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for decided.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("deadline flush never delivered the parked packet")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Explicit Flush delivers the rest.
+	if err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for decided.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("Flush never delivered the second packet")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBatchDropPolicySheds exercises whole-batch shedding: with a tiny
+// queue and a blocked-up worker the Drop policy must shed at batch
+// granularity, account every shed packet, and never deadlock the
+// producer; packets processed plus packets shed must equal packets
+// ingested.
+func TestBatchDropPolicySheds(t *testing.T) {
+	trace := mixedTrace(t)
+	srv, err := New(Config{
+		Shards:     2,
+		QueueDepth: 8,
+		BatchSize:  4,
+		Policy:     Drop,
+		NewShard:   testShardFactory(smallFlowsFL(700), 8, time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.ReplayBatch(context.Background(), NewTraceSource(trace.Packets)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Ingested != uint64(len(trace.Packets)) {
+		t.Fatalf("ingested=%d want %d", st.Ingested, len(trace.Packets))
+	}
+	if uint64(st.Packets)+st.QueueDrops != st.Ingested {
+		t.Fatalf("processed=%d + shed=%d != ingested=%d", st.Packets, st.QueueDrops, st.Ingested)
+	}
+}
+
+// TestIngestBatchUnbatched pins the fallback: IngestBatch on an
+// unbatched server must behave exactly like per-packet Ingest, with
+// the read buffer safely reusable (each packet is copied before its
+// pointer crosses the mailbox).
+func TestIngestBatchUnbatched(t *testing.T) {
+	trace := mixedTrace(t)
+	rec := newSeqRecorder(len(trace.Packets))
+	srv, err := New(Config{
+		Shards:     2,
+		Policy:     Block,
+		NewShard:   testShardFactory(smallFlowsFL(700), 8, time.Hour),
+		OnDecision: rec.onDecision,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]netpkt.Packet, 16)
+	var accepted uint64
+	for off := 0; off < len(trace.Packets); off += len(buf) {
+		n := copy(buf, trace.Packets[off:])
+		a, d, err := srv.IngestBatch(buf[:n])
+		if err != nil || d != 0 {
+			t.Fatalf("IngestBatch: accepted=%d dropped=%d err=%v", a, d, err)
+		}
+		accepted += a
+		// Scribble over the buffer: the server must have copied.
+		for i := range buf[:n] {
+			buf[i] = netpkt.Packet{}
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if accepted != uint64(len(trace.Packets)) {
+		t.Fatalf("accepted=%d want %d", accepted, len(trace.Packets))
+	}
+	if st := srv.Stats(); st.Packets != len(trace.Packets) {
+		t.Fatalf("processed=%d want %d", st.Packets, len(trace.Packets))
+	}
+	for seq, ok := range rec.seen {
+		if !ok {
+			t.Fatalf("seq %d never decided", seq)
+		}
+	}
+}
+
+// TestAsBatchSource covers the Source→BatchSource adapter and
+// TraceSource's native batch face: full batches, the partial tail, and
+// EOF termination.
+func TestAsBatchSource(t *testing.T) {
+	trace := mixedTrace(t)
+	want := trace.Packets[:10]
+
+	// Adapter over a plain Source (hide TraceSource's native method).
+	plain := struct{ Source }{NewTraceSource(want)}
+	b := AsBatchSource(plain)
+	if _, native := b.(*TraceSource); native {
+		t.Fatal("adapter expected, got the source itself")
+	}
+	buf := make([]netpkt.Packet, 4)
+	var got []netpkt.Packet
+	for {
+		n, err := b.NextBatch(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("adapter read %d packets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Timestamp != want[i].Timestamp || got[i].SrcPort != want[i].SrcPort {
+			t.Fatalf("packet %d differs through adapter", i)
+		}
+	}
+
+	// Native TraceSource batch face; AsBatchSource must pass it through.
+	ts := NewTraceSource(want)
+	if _, native := AsBatchSource(ts).(*TraceSource); !native {
+		t.Fatal("TraceSource should be its own BatchSource")
+	}
+	got = got[:0]
+	for {
+		n, err := ts.NextBatch(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("native read %d packets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Timestamp != want[i].Timestamp || got[i].SrcPort != want[i].SrcPort {
+			t.Fatalf("packet %d differs natively", i)
+		}
+	}
+}
+
+// TestConfigValidateBatch covers the joined-error validator.
+func TestConfigValidateBatch(t *testing.T) {
+	err := Config{
+		Shards:     -1,
+		QueueDepth: -1,
+		BatchSize:  -3,
+		BatchFlush: -time.Second,
+	}.Validate()
+	if err == nil {
+		t.Fatal("nonsense config validated")
+	}
+	for _, want := range []string{"NewShard", "Shards", "QueueDepth", "BatchSize", "BatchFlush"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q missing %s", err, want)
+		}
+	}
+	if err := (Config{NewShard: func(int) Shard { return Shard{} }, BatchSize: MaxBatchSize + 1}).Validate(); err == nil {
+		t.Error("oversized BatchSize validated")
+	}
+	if err := (Config{NewShard: func(int) Shard { return Shard{} }, BatchFlush: time.Millisecond}).Validate(); err == nil {
+		t.Error("BatchFlush without batching validated")
+	}
+	if _, err := New(Config{NewShard: func(int) Shard { return Shard{} }, BatchSize: -1}); err == nil {
+		t.Error("New accepted a negative BatchSize")
+	}
+}
+
+// TestBatchedLoopAllocationFree is the batched twin of
+// TestShardLoopAllocationFree: one iteration ingests a full batch
+// (producer copy, hand-off, worker ProcessBatch, buffer recycle) and
+// drains via a stats message; the whole cycle must not touch the heap.
+func TestBatchedLoopAllocationFree(t *testing.T) {
+	srv, err := New(Config{
+		Shards:     1,
+		QueueDepth: 256,
+		BatchSize:  64,
+		Policy:     Block,
+		NewShard: func(int) Shard {
+			return Shard{Switch: switchsim.New(switchsim.Config{
+				Slots:        1 << 12,
+				PktThreshold: 1 << 30,
+				Timeout:      time.Hour,
+			})}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	base := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	pkts := make([]netpkt.Packet, 64)
+	for i := range pkts {
+		pkts[i] = netpkt.Packet{
+			Timestamp: base.Add(time.Duration(i) * time.Microsecond),
+			SrcIP:     [4]byte{10, 0, 0, byte(1 + i%4)},
+			DstIP:     [4]byte{23, 1, 0, 1},
+			SrcPort:   uint16(1000 + i%4),
+			DstPort:   80,
+			Proto:     netpkt.ProtoUDP,
+			TTL:       64,
+			Length:    120,
+		}
+	}
+	w := srv.shards[0]
+	ack := make(chan ShardStats, 1)
+	drain := func() {
+		w.in <- shardMsg{kind: msgStats, ack: ack}
+		<-ack
+	}
+
+	if _, _, err := srv.IngestBatch(pkts); err != nil {
+		t.Fatal(err)
+	}
+	drain()
+
+	if n := testing.AllocsPerRun(200, func() {
+		if _, _, err := srv.IngestBatch(pkts); err != nil {
+			t.Fatal(err)
+		}
+		drain()
+	}); n != 0 {
+		t.Errorf("batched loop allocs per ingest→decide→stats cycle = %v, want 0", n)
+	}
+}

@@ -73,12 +73,79 @@ func BenchmarkProcessPacket(b *testing.B) {
 	}
 }
 
+// BenchmarkProcessBatch measures the switch batch pass on the same
+// workload as BenchmarkProcessPacket: ns/op is per packet, so the
+// delta against BenchmarkProcessPacket is what the shared quantise
+// pass and feature-major rule walk save before any shard fan-out.
+func BenchmarkProcessBatch(b *testing.B) {
+	pkts := benchPackets(b)
+	sh := benchShardFactory(benchPLRules(256))(0)
+	const batch = 64
+	out := make([]switchsim.Decision, batch)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += batch {
+		off := i % (len(pkts) - batch)
+		sh.Switch.ProcessBatch(pkts[off:off+batch], nil, nil, out)
+	}
+}
+
 // BenchmarkServeThroughput measures end-to-end ingest→decision packet
 // rate across shard counts on the same synthetic workload (ns/op is
-// per packet, drain included). On a multi-core host the 4-shard run
-// should sustain at least twice the 1-shard pps; on a single core the
-// shard counts only measure the runtime's overhead.
+// per packet, drain included), driving the batched face the daemons
+// use: IngestBatch in 64-packet slices over a BatchSize-64 server. On
+// a multi-core host the 4-shard run should sustain at least twice the
+// 1-shard pps; on a single core the shard counts only measure the
+// runtime's overhead.
 func BenchmarkServeThroughput(b *testing.B) {
+	pkts := benchPackets(b)
+	pl := benchPLRules(256)
+	const batch = 64
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			srv, err := New(Config{
+				Shards:     shards,
+				QueueDepth: 1024,
+				Policy:     Block,
+				BatchSize:  batch,
+				NewShard:   benchShardFactory(pl),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for n := 0; n < b.N; {
+				off := n % (len(pkts) - batch)
+				chunk := batch
+				if rem := b.N - n; rem < chunk {
+					chunk = rem
+				}
+				if _, _, err := srv.IngestBatch(pkts[off : off+chunk]); err != nil {
+					b.Fatal(err)
+				}
+				n += chunk
+			}
+			if err := srv.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if err := srv.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			st := srv.Stats()
+			if st.Packets != b.N {
+				b.Fatalf("processed %d packets, want %d", st.Packets, b.N)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pps")
+		})
+	}
+}
+
+// BenchmarkServeThroughputUnbatched keeps the pre-batching per-packet
+// Ingest series alive so the batched numbers above have an in-tree
+// baseline to be compared against.
+func BenchmarkServeThroughputUnbatched(b *testing.B) {
 	pkts := benchPackets(b)
 	pl := benchPLRules(256)
 	for _, shards := range []int{1, 2, 4, 8} {

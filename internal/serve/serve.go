@@ -11,13 +11,27 @@
 // hot-swap: a new model's rules replace the running ones between
 // packets, no restart, with flow state and blacklist surviving.
 //
-// Concurrency contract: Ingest/Replay form the producer side and must
-// be called from one goroutine at a time; Swap, Stats, and Close are
-// control-plane operations for the same supervising goroutine (or one
-// that otherwise serialises against the producer and each other).
-// Decision callbacks run on shard goroutines — serially within a
-// shard, concurrently across shards. This single-supervisor shape is
-// what lets the packet path stay lock-free.
+// The ingest→decide path is batch-oriented end to end when
+// Config.BatchSize > 1: the producer accumulates each shard's packets
+// into a per-shard batch buffer (packets are copied by value, so the
+// caller's read buffer is immediately reusable) and hands the whole
+// batch to the worker as one mailbox operation; the worker answers it
+// with one switchsim.ProcessBatch pass. A trace-time flush deadline
+// (Config.BatchFlush) bounds how long a partial batch may sit while
+// the clock advances, so low-rate flows still see bounded decision
+// latency. Batch buffers recycle through a fixed per-shard pool — the
+// steady-state batch path touches the heap exactly never, on both
+// sides of the channel.
+//
+// Concurrency contract: Ingest/IngestBatch/Replay/ReplayBatch/Flush
+// form the producer side and must be called from one goroutine at a
+// time; Swap, Stats, and Close are control-plane operations for the
+// same supervising goroutine (or one that otherwise serialises against
+// the producer and each other). Decision callbacks run on shard
+// goroutines — serially within a shard, concurrently across shards;
+// the packet pointer an observer receives is only valid for the
+// duration of the callback. This single-supervisor shape is what lets
+// the packet path stay lock-free.
 package serve
 
 import (
@@ -99,6 +113,24 @@ type Config struct {
 	// queues as packets, so a replayed trace produces the same sweep
 	// points on every run. Zero disables periodic sweeps.
 	SweepEvery time.Duration
+	// BatchSize, when > 1, turns on batch hand-off: the producer
+	// accumulates up to BatchSize packets per shard and delivers them
+	// as one mailbox message, answered by one switchsim.ProcessBatch
+	// pass. 0 or 1 keeps the per-packet path. Decisions are identical
+	// either way (the batch pipeline is the per-packet pipeline with
+	// the setup amortised); under the Drop policy a full queue sheds
+	// whole batches at hand-off, so sequence numbers then have
+	// batch-sized gaps where the unbatched path would shed singly.
+	BatchSize int
+	// BatchFlush bounds, in trace time, how long a partial batch may
+	// wait for more packets: whenever the trace clock advances at
+	// least BatchFlush past the last flush point, all pending batches
+	// are handed off. Defaults to 1ms when batching is on. Like every
+	// timeout in the runtime it is driven by capture timestamps, not
+	// the wall clock, so replays stay deterministic; Flush gives the
+	// producer an explicit hand-off point (Replay/ReplayBatch call it
+	// at end of stream).
+	BatchFlush time.Duration
 	// NewShard builds worker i's private pair. Required. It is called
 	// Shards times from New, before any worker starts.
 	NewShard func(shard int) Shard
@@ -122,30 +154,73 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 1024
 	}
+	if c.BatchSize > 1 && c.BatchFlush <= 0 {
+		c.BatchFlush = time.Millisecond
+	}
 	return c
+}
+
+// MaxBatchSize bounds Config.BatchSize: beyond this, batch buffers
+// stop fitting in cache and the flush deadline dominates latency, so
+// larger values are a configuration error, not a tuning knob.
+const MaxBatchSize = 1 << 16
+
+// Validate reports every configuration error at once (errors.Join),
+// mirroring the library facade's validators. New calls it; callers
+// constructing configs programmatically can call it early for the
+// full list.
+func (c Config) Validate() error {
+	var errs []error
+	add := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf("serve: config: "+format, args...))
+	}
+	if c.NewShard == nil {
+		add("NewShard is required")
+	}
+	if c.Shards < 0 {
+		add("Shards is %d, want >= 0 (0 means default)", c.Shards)
+	}
+	if c.QueueDepth < 0 {
+		add("QueueDepth is %d, want >= 0 (0 means default)", c.QueueDepth)
+	}
+	if c.BatchSize < 0 {
+		add("BatchSize is %d, want >= 0 (0 means unbatched)", c.BatchSize)
+	}
+	if c.BatchSize > MaxBatchSize {
+		add("BatchSize is %d, want <= %d", c.BatchSize, MaxBatchSize)
+	}
+	if c.BatchFlush < 0 {
+		add("BatchFlush is %v, want >= 0 (0 means default)", c.BatchFlush)
+	}
+	if c.BatchFlush > 0 && c.BatchSize <= 1 {
+		add("BatchFlush is %v but BatchSize is %d; the flush deadline needs batching on", c.BatchFlush, c.BatchSize)
+	}
+	return errors.Join(errs...)
 }
 
 // message kinds delivered to shard workers.
 const (
 	msgPacket = iota
+	msgBatch
 	msgTick
 	msgSwap
 	msgStats
 	msgFlush
 )
 
-// shardMsg is one mailbox entry: a packet, a sweep tick, a rule swap,
-// or a stats request. Control messages share the packet queue so they
-// serialise naturally between packets.
+// shardMsg is one mailbox entry: a packet, a packet batch, a sweep
+// tick, a rule swap, or a stats request. Control messages share the
+// packet queue so they serialise naturally between packets.
 type shardMsg struct {
-	kind int
-	pkt  *netpkt.Packet
-	seq  uint64
-	now  time.Time // tick
-	pl   *rules.CompiledRuleSet
-	fl   *rules.CompiledRuleSet
-	ack  chan<- ShardStats // swap + stats replies
-	ackN chan<- int        // flush replies
+	kind  int
+	pkt   *netpkt.Packet
+	batch *pktBatch
+	seq   uint64
+	now   time.Time // tick
+	pl    *rules.CompiledRuleSet
+	fl    *rules.CompiledRuleSet
+	ack   chan<- ShardStats // swap + stats replies
+	ackN  chan<- int        // flush replies
 }
 
 // shardWorker is the per-shard state. The worker goroutine (runShard,
@@ -165,6 +240,44 @@ type shardWorker struct {
 	swaps int
 	//iguard:ownedby(shard)
 	final ShardStats
+
+	// Batch-mode state (nil/unused when Config.BatchSize <= 1).
+	// pending is the producer-side fill buffer — producer goroutine
+	// only, like Server.lastTick. free recycles drained batch buffers
+	// from the worker back to the producer; together with pending and
+	// whatever sits in the mailbox it forms a fixed pool, so the
+	// steady-state batch path never allocates. out is the worker's
+	// decision scratch for ProcessBatch. batches counts delivered
+	// batches (worker-owned, snapshotted like swaps).
+	pending *pktBatch // producer-owned
+	free    chan *pktBatch
+	//iguard:ownedby(shard)
+	out []switchsim.Decision
+	//iguard:ownedby(shard)
+	batches uint64
+}
+
+// pktBatch is one per-shard hand-off unit: up to BatchSize packets
+// stored by value (enqueueing copies, decoupling the batch from the
+// producer's read buffer) with their canonical flow keys and key
+// folds — computed once for routing, reused by ProcessBatch — and
+// ingest sequence numbers. n is the fill level; the backing slices
+// are allocated once at pool construction and never grow.
+type pktBatch struct {
+	pkts  []netpkt.Packet
+	keys  []features.FlowKey
+	folds []uint32
+	seqs  []uint64
+	n     int
+}
+
+func newBatch(size int) *pktBatch {
+	return &pktBatch{
+		pkts:  make([]netpkt.Packet, size),
+		keys:  make([]features.FlowKey, size),
+		folds: make([]uint32, size),
+		seqs:  make([]uint64, size),
+	}
 }
 
 // ErrClosed is returned by operations on a closed server.
@@ -181,8 +294,10 @@ type Server struct {
 	closed  atomic.Bool
 	drained atomic.Bool
 
-	// ingested doubles as the next sequence number (producer-owned
-	// increment, atomically readable by Stats).
+	// nextSeq is the producer-owned sequence counter; ingested mirrors
+	// it (one atomic store per packet instead of a load + RMW pair) so
+	// Stats can read it from outside the producer goroutine.
+	nextSeq    uint64 // producer-owned
 	ingested   atomic.Uint64
 	queueDrops atomic.Uint64
 
@@ -191,6 +306,7 @@ type Server struct {
 	traceStart atomic.Int64
 	traceNow   atomic.Int64
 	lastTick   int64 // producer-owned
+	lastFlush  int64 // producer-owned; batch flush deadline anchor
 	ticks      atomic.Uint64
 
 	wallStart time.Time // set in New when cfg.Now != nil
@@ -198,20 +314,41 @@ type Server struct {
 
 // New validates the config, builds the shards, and starts the workers.
 func New(cfg Config) (*Server, error) {
-	if cfg.NewShard == nil {
-		return nil, errors.New("serve: Config.NewShard is required")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg}
 	if cfg.Now != nil {
 		s.wallStart = cfg.Now()
 	}
+	// In batch mode the mailbox is measured in batches, preserving the
+	// configured packet-count buffering; the buffer pool holds one more
+	// batch than can be in flight (mailbox + one at the worker + the
+	// producer's pending), so recycling never blocks the worker and a
+	// successful hand-off always finds a fresh pending buffer waiting.
+	queue, qBatches := cfg.QueueDepth, 0
+	if cfg.BatchSize > 1 {
+		qBatches = (cfg.QueueDepth + cfg.BatchSize - 1) / cfg.BatchSize
+		queue = qBatches
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := cfg.NewShard(i)
 		if sh.Switch == nil {
 			return nil, fmt.Errorf("serve: NewShard(%d) returned a nil Switch", i)
 		}
-		w := &shardWorker{id: i, sw: sh.Switch, ctrl: sh.Controller, in: make(chan shardMsg, cfg.QueueDepth)}
+		var out []switchsim.Decision
+		if cfg.BatchSize > 1 {
+			out = make([]switchsim.Decision, cfg.BatchSize)
+		}
+		w := &shardWorker{id: i, sw: sh.Switch, ctrl: sh.Controller, in: make(chan shardMsg, queue), out: out}
+		if cfg.BatchSize > 1 {
+			w.free = make(chan *pktBatch, qBatches+1)
+			for j := 0; j < qBatches+1; j++ {
+				w.free <- newBatch(cfg.BatchSize)
+			}
+			w.pending = newBatch(cfg.BatchSize)
+		}
 		s.shards = append(s.shards, w)
 	}
 	s.wg.Add(len(s.shards))
@@ -241,6 +378,16 @@ func (s *Server) runShard(w *shardWorker) {
 		case msgPacket:
 			d := w.sw.ProcessPacket(m.pkt)
 			s.notifyDecision(w, m.seq, m.pkt, d)
+		case msgBatch:
+			b := m.batch
+			w.sw.ProcessBatch(b.pkts[:b.n], b.keys[:b.n], b.folds[:b.n], w.out[:b.n])
+			for i := 0; i < b.n; i++ {
+				s.notifyDecision(w, b.seqs[i], &b.pkts[i], w.out[i])
+			}
+			w.batches++
+			b.n = 0
+			// Recycling never blocks: free's capacity covers the pool.
+			w.free <- b
 		case msgTick:
 			w.sw.SweepTimeouts(m.now)
 		default:
@@ -300,6 +447,7 @@ func (w *shardWorker) snapshot() ShardStats {
 		AvgLatency:   w.sw.AvgLatency(),
 		QueueDrops:   w.queueDrops.Load(),
 		Swaps:        w.swaps,
+		Batches:      w.batches,
 	}
 	if w.ctrl != nil {
 		st.Controller = w.ctrl.Stats()
@@ -307,15 +455,24 @@ func (w *shardWorker) snapshot() ShardStats {
 	return st
 }
 
-// shardOf maps a canonical flow key to its owning shard.
-func (s *Server) shardOf(key features.FlowKey) int {
-	return int(key.BiHash(shardSeed) % uint32(len(s.shards)))
+// shardOf maps a canonical flow key's fold to its owning shard.
+//
+//iguard:hotpath
+func (s *Server) shardOf(fold uint32) int {
+	return int(features.BiHashFold(fold, shardSeed) % uint32(len(s.shards)))
 }
 
+// batching reports whether batch hand-off is on.
+func (s *Server) batching() bool { return s.cfg.BatchSize > 1 }
+
 // Ingest routes one packet to its flow's shard. It returns (true, nil)
-// when the packet was queued, (false, nil) when the Drop policy shed
-// it, and (false, ErrClosed) after Close. The packet must not be
-// mutated by the caller afterwards. Producer goroutine only.
+// when the packet was queued (or, in batch mode, copied into its
+// shard's pending batch — the caller's packet is then immediately
+// reusable), (false, nil) when the Drop policy shed it, and (false,
+// ErrClosed) after Close. In unbatched mode the packet must not be
+// mutated by the caller afterwards. In batch mode under the Drop
+// policy, sheds happen per batch at hand-off and are reported via
+// Stats.QueueDrops, not this return. Producer goroutine only.
 //
 //iguard:hotpath
 func (s *Server) Ingest(p *netpkt.Packet) (bool, error) {
@@ -323,8 +480,13 @@ func (s *Server) Ingest(p *netpkt.Packet) (bool, error) {
 		return false, ErrClosed
 	}
 	s.observe(p.Timestamp)
-	w := s.shards[s.shardOf(features.KeyOf(p).Canonical())]
-	m := shardMsg{kind: msgPacket, pkt: p, seq: s.ingested.Load()}
+	key, fold := features.CanonicalFoldOf(p)
+	w := s.shards[s.shardOf(fold)]
+	if s.batching() {
+		s.enqueue(w, p, key, fold)
+		return true, nil
+	}
+	m := shardMsg{kind: msgPacket, pkt: p, seq: s.nextSeq}
 	if s.cfg.Policy == Drop {
 		select {
 		case w.in <- m:
@@ -336,24 +498,110 @@ func (s *Server) Ingest(p *netpkt.Packet) (bool, error) {
 	} else {
 		w.in <- m
 	}
-	s.ingested.Add(1)
+	s.nextSeq++
+	s.ingested.Store(s.nextSeq)
 	return true, nil
 }
 
-// observe advances the trace clock and broadcasts sweep ticks when it
-// crosses the SweepEvery cadence. Producer goroutine only.
+// enqueue copies one packet into its shard's pending batch, handing
+// the batch off when it fills. Producer goroutine only.
+//
+//iguard:hotpath
+func (s *Server) enqueue(w *shardWorker, p *netpkt.Packet, key features.FlowKey, fold uint32) {
+	b := w.pending
+	b.pkts[b.n] = *p
+	b.keys[b.n] = key
+	b.folds[b.n] = fold
+	b.seqs[b.n] = s.nextSeq
+	b.n++
+	s.nextSeq++
+	s.ingested.Store(s.nextSeq)
+	if b.n >= s.cfg.BatchSize {
+		s.flushShard(w)
+	}
+}
+
+// flushShard hands the shard's pending batch to the worker as one
+// mailbox operation and takes a recycled buffer as the new pending
+// one. Under the Drop policy a full mailbox sheds the whole batch —
+// the batch analogue of shedding single packets — leaving its
+// sequence numbers as gaps. Producer goroutine only.
+//
+//iguard:hotpath
+func (s *Server) flushShard(w *shardWorker) {
+	b := w.pending
+	if b.n == 0 {
+		return
+	}
+	m := shardMsg{kind: msgBatch, batch: b}
+	if s.cfg.Policy == Drop {
+		select {
+		case w.in <- m:
+		default:
+			w.queueDrops.Add(uint64(b.n))
+			s.queueDrops.Add(uint64(b.n))
+			b.n = 0 // shed in place; the buffer stays pending
+			return
+		}
+	} else {
+		w.in <- m
+	}
+	// Never blocks after a successful hand-off: the pool holds one
+	// more buffer than the mailbox plus the worker can hold.
+	w.pending = <-w.free
+}
+
+// flushPending hands every shard's pending batch off. Producer
+// goroutine only (Swap/Stats/Close call it under the supervisor
+// serialisation contract).
+//
+//iguard:hotpath
+func (s *Server) flushPending() {
+	for _, w := range s.shards {
+		s.flushShard(w)
+	}
+}
+
+// Flush hands any still-pending batched packets to their shards. It
+// is the explicit companion to the BatchFlush deadline: call it when
+// the stream pauses and the pending tail should be decided now
+// (Replay and ReplayBatch call it at end of stream). No-op when
+// batching is off. Producer goroutine only.
+func (s *Server) Flush() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if s.batching() {
+		s.flushPending()
+	}
+	return nil
+}
+
+// observe advances the trace clock, flushes aged partial batches once
+// it moves BatchFlush past the last flush point, and broadcasts sweep
+// ticks when it crosses the SweepEvery cadence. Producer goroutine
+// only.
+//
+//iguard:hotpath
 func (s *Server) observe(ts time.Time) {
 	ns := ts.UnixNano()
 	if s.traceStart.Load() == 0 {
 		s.traceStart.Store(ns)
 		s.traceNow.Store(ns)
 		s.lastTick = ns
+		s.lastFlush = ns
 		return
 	}
 	if ns <= s.traceNow.Load() {
 		return
 	}
 	s.traceNow.Store(ns)
+	if s.batching() && time.Duration(ns-s.lastFlush) >= s.cfg.BatchFlush {
+		// Flush deadline: no packet waits in a partial batch for more
+		// than BatchFlush of trace time once the clock moves on.
+		s.lastFlush = ns
+		s.flushPending()
+	}
 	if s.cfg.SweepEvery <= 0 {
 		return
 	}
@@ -363,6 +611,12 @@ func (s *Server) observe(ts time.Time) {
 	s.lastTick = ns
 	s.ticks.Add(1)
 	now := time.Unix(0, ns).UTC()
+	// Pending batches go first so every shard sees its packets in the
+	// same order, relative to the tick, as the unbatched path would
+	// deliver them.
+	if s.batching() {
+		s.flushPending()
+	}
 	for _, w := range s.shards {
 		// Ticks are never shed: they carry timeout semantics, and a
 		// full queue only delays (bounded) rather than loses them.
@@ -380,6 +634,11 @@ func (s *Server) observe(ts time.Time) {
 func (s *Server) Swap(pl, fl *rules.CompiledRuleSet) error {
 	if s.closed.Load() {
 		return ErrClosed
+	}
+	if s.batching() {
+		// Pending packets were ingested before the swap; hand them off
+		// first so they are decided under the rules they arrived under.
+		s.flushPending()
 	}
 	ack := make(chan ShardStats, len(s.shards))
 	for _, w := range s.shards {
@@ -400,6 +659,9 @@ func (s *Server) FlushBlacklists() (int, error) {
 	if s.closed.Load() {
 		return 0, ErrClosed
 	}
+	if s.batching() {
+		s.flushPending()
+	}
 	ack := make(chan int, len(s.shards))
 	for _, w := range s.shards {
 		w.in <- shardMsg{kind: msgFlush, ackN: ack}
@@ -419,6 +681,11 @@ func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	if s.batching() {
+		// Pending batches drain with everything else: Close never
+		// strands a buffered packet undecided.
+		s.flushPending()
+	}
 	for _, w := range s.shards {
 		close(w.in)
 	}
@@ -433,6 +700,11 @@ func (s *Server) Close() error {
 // position); on a closed server the final drained snapshots are
 // served. Supervisor goroutine only.
 func (s *Server) Stats() Stats {
+	if s.batching() && !s.closed.Load() {
+		// A stats request is a barrier on each shard's mailbox; hand
+		// pending batches off first so the snapshot covers them.
+		s.flushPending()
+	}
 	per := make([]ShardStats, len(s.shards))
 	if s.drained.Load() {
 		for i, w := range s.shards {
@@ -454,21 +726,32 @@ func (s *Server) Stats() Stats {
 	return s.aggregate(per)
 }
 
-// Replay pumps a source into the server until io.EOF, a source error,
-// or context cancellation, returning the accepted and shed counts.
-// Producer goroutine only.
-func (s *Server) Replay(ctx context.Context, src Source) (accepted, dropped uint64, err error) {
-	for {
-		if err := ctx.Err(); err != nil {
-			return accepted, dropped, err
+// IngestBatch routes a slice of packets to their shards in one call:
+// the batch analogue of Ingest, and what Replay/ReplayBatch drive. In
+// batch mode every packet is copied into its shard's pending batch, so
+// pkts is immediately reusable on return; on an unbatched server each
+// packet is individually copied and queued, preserving Ingest's
+// semantics (including per-packet Drop-policy sheds, reported in the
+// dropped count). Producer goroutine only.
+//
+//iguard:hotpath
+func (s *Server) IngestBatch(pkts []netpkt.Packet) (accepted, dropped uint64, err error) {
+	if s.closed.Load() {
+		return 0, 0, ErrClosed
+	}
+	if s.batching() {
+		for i := range pkts {
+			p := &pkts[i]
+			s.observe(p.Timestamp)
+			key, fold := features.CanonicalFoldOf(p)
+			s.enqueue(s.shards[s.shardOf(fold)], p, key, fold)
 		}
-		p, err := src.Next()
-		if err == io.EOF {
-			return accepted, dropped, nil
-		}
-		if err != nil {
-			return accepted, dropped, err
-		}
+		return uint64(len(pkts)), 0, nil
+	}
+	for i := range pkts {
+		// The per-packet path sends the pointer itself through the
+		// mailbox, so the packet must outlive the caller's buffer.
+		p := pkts[i]
 		ok, err := s.Ingest(&p)
 		if err != nil {
 			return accepted, dropped, err
@@ -477,6 +760,55 @@ func (s *Server) Replay(ctx context.Context, src Source) (accepted, dropped uint
 			accepted++
 		} else {
 			dropped++
+		}
+	}
+	return accepted, dropped, nil
+}
+
+// Replay pumps a source into the server until io.EOF, a source error,
+// or context cancellation, returning the accepted and shed counts. It
+// is ReplayBatch over the source's batch face (native when the source
+// implements BatchSource, adapted otherwise). Producer goroutine only.
+func (s *Server) Replay(ctx context.Context, src Source) (accepted, dropped uint64, err error) {
+	return s.ReplayBatch(ctx, AsBatchSource(src))
+}
+
+// replayReadLen is the read-buffer size Replay/ReplayBatch use when
+// the server itself is unbatched (batched servers read BatchSize
+// packets at a time).
+const replayReadLen = 64
+
+// ReplayBatch pumps a batch source into the server until io.EOF, a
+// source or ingest error, or context cancellation, returning the
+// accepted and shed counts. Packets are read up to a batch at a time
+// into one reused buffer — IngestBatch copies them out, so the replay
+// loop allocates nothing per packet on a batched server. At end of
+// stream the pending tail is flushed before returning. Producer
+// goroutine only.
+func (s *Server) ReplayBatch(ctx context.Context, src BatchSource) (accepted, dropped uint64, err error) {
+	size := s.cfg.BatchSize
+	if size <= 1 {
+		size = replayReadLen
+	}
+	buf := make([]netpkt.Packet, size)
+	for {
+		if err := ctx.Err(); err != nil {
+			return accepted, dropped, err
+		}
+		n, rerr := src.NextBatch(buf)
+		if n > 0 {
+			a, d, ierr := s.IngestBatch(buf[:n])
+			accepted += a
+			dropped += d
+			if ierr != nil {
+				return accepted, dropped, ierr
+			}
+		}
+		if rerr == io.EOF {
+			return accepted, dropped, s.Flush()
+		}
+		if rerr != nil {
+			return accepted, dropped, rerr
 		}
 	}
 }

@@ -21,6 +21,9 @@ type ShardStats struct {
 	AvgLatency   time.Duration
 	QueueDrops   uint64
 	Swaps        int
+	// Batches counts batch hand-offs delivered to this shard (0 when
+	// batching is off).
+	Batches uint64
 }
 
 // Stats is the aggregated server view.
@@ -31,9 +34,12 @@ type Stats struct {
 	// Ingested counts packets accepted by Ingest; QueueDrops counts
 	// packets shed by the Drop policy. Packets counts what the shards
 	// have actually processed (≤ Ingested while queues hold backlog).
+	// Batches counts batch hand-offs across shards; Packets/Batches is
+	// the realised mean batch size.
 	Ingested   uint64
 	QueueDrops uint64
 	Packets    int
+	Batches    uint64
 
 	// PathCounts, Drops, Digests, DigestBytes, Recirculated, and
 	// HardCollisions sum the switchsim counters across shards.
@@ -95,6 +101,7 @@ func (s *Server) aggregate(per []ShardStats) Stats {
 		st.RulesEvicted += p.Controller.RulesEvicted
 		st.BlacklistLen += p.BlacklistLen
 		st.ActiveFlows += p.ActiveFlows
+		st.Batches += p.Batches
 		if p.Swaps > st.Swaps {
 			st.Swaps = p.Swaps
 		}
@@ -123,6 +130,9 @@ func (st Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "ingested=%d processed=%d queueDrops=%d shards=%d\n",
 		st.Ingested, st.Packets, st.QueueDrops, len(st.Shards))
+	if st.Batches > 0 {
+		fmt.Fprintf(&b, "batches=%d (mean size %.1f)\n", st.Batches, float64(st.Packets)/float64(st.Batches))
+	}
 	fmt.Fprintf(&b, "paths:")
 	for p := switchsim.PathRed; p <= switchsim.PathGreen; p++ {
 		fmt.Fprintf(&b, " %s=%d", p, st.PathCounts[p])
