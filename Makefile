@@ -1,6 +1,6 @@
 # Convenience targets for the iGuard reproduction.
 
-.PHONY: build test bench bench-parallel bench-serve bench-batch bench-rules eval eval-quick examples fmt vet vet-hotpath lint fix sarif race race-batch p4lint
+.PHONY: build test bench bench-parallel bench-serve bench-batch bench-rules eval eval-quick examples fmt vet vet-hotpath lint fix sarif race race-batch race-fed fuzz-fed p4lint
 
 build:
 	go build ./...
@@ -93,3 +93,16 @@ race:
 # batching, flush deadlines, buffer pool recycling, batch equivalence).
 race-batch:
 	go test -race -run 'Batch|Flush' ./internal/serve ./internal/switchsim
+
+# Focused race pass over the federation subsystem: the frame codec,
+# hub broadcast/dedup/join-replay, and the agent's reconnect + bounded
+# outbox machinery, plus the two root-level end-to-end tests.
+race-fed:
+	go test -race ./internal/fed
+	go test -race -run 'TestFederation' .
+
+# Coverage-guided fuzz smoke over the federation frame codec: decode →
+# re-encode identity, the error taxonomy (truncated/oversize/unknown
+# type), and stream-reader agreement with the in-place decoder.
+fuzz-fed:
+	go test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime=10s ./internal/fed

@@ -1,0 +1,109 @@
+// Command iguard-hub runs the federation controller plane: N
+// iguard-serve nodes connect (via -hub), announce the blacklist rules
+// their local controllers install, and receive every other node's
+// installs back, so an attacker flagged at one vantage point is
+// blocked at all of them within one broadcast round.
+//
+// The hub is stateless across restarts by design: its blacklist view
+// is the union of what live nodes have announced, and a restarted hub
+// is repopulated as nodes reconnect and re-announce. SIGINT/SIGTERM
+// disconnect all nodes and print final stats.
+//
+// Usage:
+//
+//	iguard-hub -listen 127.0.0.1:7001
+//	iguard-serve -hub 127.0.0.1:7001 -node-id 1 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"iguard/internal/fed"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7001", "TCP address to accept node connections on")
+		nodeID    = flag.Uint64("node-id", 100, "hub identity carried in HELLO replies")
+		keepalive = flag.Duration("keepalive", 15*time.Second, "send-idle keepalive cadence per connection (<0 disables)")
+		readTO    = flag.Duration("read-timeout", 0, "dead-peer cutoff: drop a node silent for this long (0 disables)")
+		depth     = flag.Int("outbound-depth", 256, "per-node outbound queue depth; a node that cannot drain it is kicked")
+		statsEv   = flag.Duration("stats-every", 0, "print live hub stats at this interval (0 disables)")
+		verbose   = flag.Bool("v", false, "log per-connection lifecycle events")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := fed.HubConfig{
+		NodeID:        *nodeID,
+		Keepalive:     *keepalive,
+		ReadTimeout:   *readTO,
+		OutboundDepth: *depth,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	hub := fed.NewHub(ln, cfg)
+	fmt.Printf("iguard-hub: listening on %s (node-id %d, protocol v%d)\n", hub.Addr(), *nodeID, fed.Version)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hub.Serve() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	var ticker <-chan time.Time
+	if *statsEv > 0 {
+		tk := time.NewTicker(*statsEv)
+		defer tk.Stop()
+		ticker = tk.C
+	}
+
+supervise:
+	for {
+		select {
+		case err := <-serveErr:
+			if err != nil {
+				fatal(err)
+			}
+			break supervise
+		case <-ticker:
+			fmt.Printf("-- live --\n%s\n", hub.Stats())
+		case sig := <-sigc:
+			fmt.Fprintf(os.Stderr, "iguard-hub: %v: shutting down\n", sig)
+			if err := hub.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "iguard-hub: close:", err)
+			}
+			break supervise
+		}
+	}
+
+	fmt.Println(hub.Stats())
+	nodes := hub.NodeStats()
+	ids := make([]uint64, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := nodes[id]
+		fmt.Printf("node %d: packets=%d installed=%d evicted=%d resident=%d queueDrops=%d outboxDrops=%d\n",
+			id, p.Packets, p.Installed, p.Evicted, p.BlacklistLen, p.QueueDrops, p.OutboxDrops)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iguard-hub:", err)
+	os.Exit(1)
+}

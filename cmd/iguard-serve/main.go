@@ -9,14 +9,22 @@
 // hot-swaps the compiled whitelist into the running shards without a
 // restart.
 //
+// With -hub the node joins a federation: blacklist rules its own
+// controllers install are announced to an iguard-hub controller plane,
+// and rules announced by other nodes are applied locally, so the fleet
+// converges on one blacklist view. A dead hub degrades the node to
+// exactly its standalone behaviour.
+//
 // Usage:
 //
 //	iguard-serve -model model.json -replay mixed.pcap -shards 4
 //	iguard-serve -train-synthetic 300 -attack "UDP DDoS" -stats-every 2s
+//	iguard-serve -hub 127.0.0.1:7001 -node-id 1 -linger 30s
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,6 +35,8 @@ import (
 	"time"
 
 	"iguard"
+	"iguard/internal/controller"
+	"iguard/internal/fed"
 	"iguard/internal/netpkt"
 	"iguard/internal/rules"
 	"iguard/internal/serve"
@@ -50,6 +60,10 @@ func main() {
 		batchSize  = flag.Int("batch", 64, "per-shard hand-off batch size (0 or 1 serves per packet)")
 		batchFlush = flag.Duration("batch-flush", 0, "trace-time flush deadline for partial batches (0 = 1ms when batching)")
 		statsEvery = flag.Duration("stats-every", 0, "print live aggregate stats at this wall-clock interval (0 disables)")
+		statsJSON  = flag.Bool("stats-json", false, "print the final aggregate stats as one JSON object (machine-parseable)")
+		hubAddr    = flag.String("hub", "", "federation hub address; empty runs standalone")
+		nodeID     = flag.Uint64("node-id", 1, "this node's federation identity (give each node a distinct ID)")
+		linger     = flag.Duration("linger", 0, "keep serving this long after the replay ends (lets federated installs keep arriving)")
 	)
 	flag.Parse()
 
@@ -70,10 +84,39 @@ func main() {
 	cfg.OnDecision = func(int, uint64, *iguard.Packet, switchsim.Decision) {
 		decisions.Add(1)
 	}
+	// agent is written once, before the replay producer starts; the
+	// observer runs on shard goroutines whose work arrives over the
+	// producer's channels, so that write happens-before every read
+	// here. Only locally decided installs are announced — evictions
+	// stay local, and hub-applied installs never fire this observer —
+	// which is what keeps the federation loop-free.
+	var agent *fed.Agent
+	if *hubAddr != "" {
+		cfg.OnBlacklist = func(_ int, ev controller.Event) {
+			if ev.Op == controller.OpInstall {
+				agent.Announce(ev.Key)
+			}
+		}
+	}
 	cfg.Now = time.Now
 	srv, err := det.NewServer(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *hubAddr != "" {
+		agent, err = fed.NewAgent(fed.AgentConfig{
+			Addr:   *hubAddr,
+			NodeID: *nodeID,
+			Apply:  srv,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		agent.Start()
+		fmt.Printf("federating with hub %s as node %d\n", *hubAddr, *nodeID)
 	}
 	if *batchSize > 1 {
 		fmt.Printf("serving %d shard(s), batch=%d; whitelist: %s\n", *shards, *batchSize, matcherInfo(det.CompiledRules()))
@@ -115,13 +158,23 @@ func main() {
 	}
 
 	var res replayResult
+	var lingerC <-chan time.Time
 supervise:
 	for {
 		select {
 		case res = <-done:
+			if *linger > 0 {
+				fmt.Fprintf(os.Stderr, "iguard-serve: replay done; lingering %v\n", *linger)
+				lingerC = time.After(*linger)
+				done = nil
+				continue
+			}
+			break supervise
+		case <-lingerC:
 			break supervise
 		case <-ticker:
 			fmt.Printf("-- live --\n%s\n", srv.Stats())
+			reportToHub(agent, srv)
 		case sig := <-sigc:
 			switch sig {
 			case syscall.SIGHUP:
@@ -142,10 +195,19 @@ supervise:
 			default:
 				fmt.Fprintf(os.Stderr, "iguard-serve: %v: draining...\n", sig)
 				cancel()
-				res = <-done
+				if done != nil {
+					res = <-done
+				}
 				break supervise
 			}
 		}
+	}
+	// Shutdown order matters: the agent applies into the server, so it
+	// goes first — a propagated install arriving after srv.Close would
+	// only tear the hub session down with an ErrClosed apply.
+	if agent != nil {
+		reportToHub(agent, srv)
+		agent.Close()
 	}
 	if err := srv.Close(); err != nil {
 		fatal(err)
@@ -158,10 +220,38 @@ supervise:
 
 	st := srv.Stats()
 	fmt.Printf("accepted=%d dropped=%d decisions=%d\n", res.accepted, res.dropped, decisions.Load())
-	fmt.Println(st)
+	if *statsJSON {
+		raw, err := json.Marshal(st)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(raw))
+	} else {
+		fmt.Println(st)
+	}
+	if agent != nil {
+		fmt.Printf("federation: %s\n", agent.Stats())
+	}
 	if st.Packets == 0 {
 		fatal(fmt.Errorf("no packets processed"))
 	}
+}
+
+// reportToHub pushes the node's aggregate counters to the hub's fleet
+// overview; a nil agent (standalone mode) is a no-op.
+func reportToHub(agent *fed.Agent, srv *serve.Server) {
+	if agent == nil {
+		return
+	}
+	st := srv.Stats()
+	agent.ReportStats(fed.StatsPayload{
+		Packets:      uint64(st.Packets),
+		Installed:    uint64(st.RulesInstalled),
+		Evicted:      uint64(st.RulesEvicted),
+		BlacklistLen: uint64(st.BlacklistLen),
+		QueueDrops:   st.QueueDrops,
+		OutboxDrops:  agent.Stats().OutboxDrops,
+	})
 }
 
 // openSource builds the packet source: a streaming PCAP reader when

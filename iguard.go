@@ -707,6 +707,13 @@ type ServeConfig struct {
 	BatchFlush time.Duration
 	// OnDecision observes every processed packet; see serve.Config.
 	OnDecision func(shard int, seq uint64, p *Packet, d switchsim.Decision)
+	// OnBlacklist observes blacklist transitions the shard controllers
+	// decide locally (installs and capacity evictions). It runs on
+	// shard goroutines and must be cheap and non-blocking; externally
+	// applied operations (the server's ApplyInstall/ApplyRemove/
+	// ApplyFlush — the federation apply path) do not fire it. See
+	// serve.Config.OnBlacklist.
+	OnBlacklist func(shard int, ev controller.Event)
 	// Now supplies wall time for throughput stats; nil reports rates
 	// over trace time (deterministic replays never consult the wall
 	// clock).
@@ -776,14 +783,15 @@ func (d *Detector) NewServer(cfg ServeConfig) (*serve.Server, error) {
 		cfg.Deploy = DefaultDeployConfig()
 	}
 	return serve.New(serve.Config{
-		Shards:     cfg.Shards,
-		QueueDepth: cfg.QueueDepth,
-		Policy:     cfg.Policy,
-		SweepEvery: cfg.SweepEvery,
-		BatchSize:  cfg.BatchSize,
-		BatchFlush: cfg.BatchFlush,
-		OnDecision: cfg.OnDecision,
-		Now:        cfg.Now,
+		Shards:      cfg.Shards,
+		QueueDepth:  cfg.QueueDepth,
+		Policy:      cfg.Policy,
+		SweepEvery:  cfg.SweepEvery,
+		BatchSize:   cfg.BatchSize,
+		BatchFlush:  cfg.BatchFlush,
+		OnDecision:  cfg.OnDecision,
+		OnBlacklist: cfg.OnBlacklist,
+		Now:         cfg.Now,
 		NewShard: func(int) serve.Shard {
 			// Deploy was validated above, so the unchecked builder is
 			// safe here.

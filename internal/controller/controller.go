@@ -45,7 +45,43 @@ type Stats struct {
 	BytesReceived   int
 	RulesInstalled  int
 	RulesEvicted    int
+	RulesRemoved    int
 	StorageCleared  int
+}
+
+// Op classifies an observed blacklist transition.
+type Op int
+
+// Observed operations. OpInstall is a digest-driven install decided by
+// this controller; OpEvict is a capacity eviction (whatever triggered
+// it); OpRemove is an explicit withdrawal via Remove; OpFlush is a
+// whole-table Flush (Key is the zero key).
+const (
+	OpInstall Op = iota
+	OpEvict
+	OpRemove
+	OpFlush
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpInstall:
+		return "install"
+	case OpEvict:
+		return "evict"
+	case OpRemove:
+		return "remove"
+	case OpFlush:
+		return "flush"
+	}
+	return "op(?)"
+}
+
+// Event is one observed blacklist transition; Key is canonical.
+type Event struct {
+	Op  Op
+	Key features.FlowKey
 }
 
 // Controller is the control-plane agent. It is safe for concurrent use
@@ -73,6 +109,7 @@ type Controller struct {
 	order    *list.List // of features.FlowKey, front = next eviction
 	index    map[features.FlowKey]*list.Element
 	stats    Stats
+	obs      func(Event)
 }
 
 // New returns a controller managing the given switch with a blacklist
@@ -88,6 +125,21 @@ func New(sw Switch, capacity int, policy EvictionPolicy) *Controller {
 		order:    list.New(),
 		index:    map[features.FlowKey]*list.Element{},
 	}
+}
+
+// SetObserver registers an observer for blacklist transitions this
+// controller performs. Events fire after the corresponding data-plane
+// call, on the goroutine that triggered the transition, outside the
+// controller's lock; the observer must be cheap and non-blocking (the
+// serving runtime invokes it on shard goroutines). Digest-driven
+// installs and evictions fire; externally applied operations (Install,
+// Remove, Flush — the federation apply path) do not announce
+// themselves, which is what keeps a federated fleet loop-free: only
+// locally decided installs propagate outward.
+func (c *Controller) SetObserver(fn func(Event)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.obs = fn
 }
 
 // OnDigest implements switchsim.DigestSink: it clears the flow's
@@ -125,6 +177,7 @@ func (c *Controller) OnDigest(d switchsim.Digest) {
 			install = true
 		}
 	}
+	obs := c.obs
 	c.mu.Unlock()
 
 	c.sw.ClearFlow(d.Key)
@@ -134,6 +187,80 @@ func (c *Controller) OnDigest(d switchsim.Digest) {
 	if install {
 		c.sw.InstallBlacklist(key)
 	}
+	if obs != nil {
+		for _, victim := range evicted {
+			obs(Event{Op: OpEvict, Key: victim})
+		}
+		if install {
+			obs(Event{Op: OpInstall, Key: key})
+		}
+	}
+}
+
+// Install records an externally decided blacklist entry — the
+// federation apply path: a rule another switch's controller installed
+// and the hub propagated here. The bookkeeping is identical to a
+// malicious digest (capacity evictions included, and LRU treats a
+// re-install as a recency refresh) minus the flow-storage clear, and
+// the observer is deliberately not told about the install itself (see
+// SetObserver) though any eviction it forces does fire OpEvict.
+// Returns whether the entry was newly installed.
+func (c *Controller) Install(key features.FlowKey) bool {
+	key = key.Canonical()
+	c.mu.Lock()
+	install := false
+	var evicted []features.FlowKey
+	if el, ok := c.index[key]; ok {
+		if c.policy == LRU {
+			c.order.MoveToBack(el)
+		}
+	} else {
+		if c.order.Len() >= c.capacity {
+			if victim, ok := c.popVictimLocked(); ok {
+				evicted = append(evicted, victim)
+				c.stats.RulesEvicted++
+			}
+		}
+		c.index[key] = c.order.PushBack(key)
+		c.stats.RulesInstalled++
+		install = true
+	}
+	obs := c.obs
+	c.mu.Unlock()
+
+	for _, victim := range evicted {
+		c.sw.RemoveBlacklist(victim)
+	}
+	if install {
+		c.sw.InstallBlacklist(key)
+	}
+	if obs != nil {
+		for _, victim := range evicted {
+			obs(Event{Op: OpEvict, Key: victim})
+		}
+	}
+	return install
+}
+
+// Remove withdraws one blacklist entry from the bookkeeping and the
+// data plane — the apply path for a propagated removal. Like Install
+// it stays silent toward the observer. Returns whether the entry was
+// present.
+func (c *Controller) Remove(key features.FlowKey) bool {
+	key = key.Canonical()
+	c.mu.Lock()
+	el, ok := c.index[key]
+	if ok {
+		c.order.Remove(el)
+		delete(c.index, key)
+		c.stats.RulesRemoved++
+	}
+	c.mu.Unlock()
+
+	if ok {
+		c.sw.RemoveBlacklist(key)
+	}
+	return ok
 }
 
 // popVictimLocked removes and returns the front (next-to-evict) entry

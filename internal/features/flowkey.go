@@ -75,6 +75,19 @@ func (k FlowKey) Bytes() [13]byte {
 	return b
 }
 
+// FlowKeyFromBytes is the inverse of Bytes: it reassembles a key from
+// the 13-byte digest layout. The federation wire protocol uses it to
+// decode ANNOUNCE/INSTALL/REMOVE frames.
+func FlowKeyFromBytes(b [13]byte) FlowKey {
+	var k FlowKey
+	copy(k.SrcIP[:], b[0:4])
+	copy(k.DstIP[:], b[4:8])
+	k.SrcPort = binary.BigEndian.Uint16(b[8:10])
+	k.DstPort = binary.BigEndian.Uint16(b[10:12])
+	k.Proto = b[12]
+	return k
+}
+
 // Multiply-mix constants (splitmix64 / murmur3 finalizer family). The
 // key hash is a word-parallel multiply-mix rather than a byte-serial
 // FNV chain: the 13-byte key loads as two 64-bit endpoint lanes plus

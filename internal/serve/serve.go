@@ -139,6 +139,15 @@ type Config struct {
 	// packets, in producer order). Called on shard goroutines —
 	// serially within a shard, concurrently across shards.
 	OnDecision func(shard int, seq uint64, p *netpkt.Packet, d switchsim.Decision)
+	// OnBlacklist, when non-nil, observes blacklist transitions the
+	// shard controllers decide locally (installs and capacity
+	// evictions; see controller.SetObserver for exactly which
+	// operations fire). It runs on shard goroutines and must be cheap
+	// and non-blocking — the federation agent's Announce, a counter
+	// bump — because it sits behind the digest path. Externally
+	// applied operations (ApplyInstall/ApplyRemove/ApplyFlush) do not
+	// fire it, which keeps a federated fleet loop-free.
+	OnBlacklist func(shard int, ev controller.Event)
 	// Now supplies wall time for Stats' elapsed/pps figures. The
 	// runtime itself never consults the wall clock (all timeout logic
 	// runs on capture timestamps), so this is nil-safe: without it,
@@ -206,6 +215,8 @@ const (
 	msgSwap
 	msgStats
 	msgFlush
+	msgInstall
+	msgRemove
 )
 
 // shardMsg is one mailbox entry: a packet, a packet batch, a sweep
@@ -219,8 +230,9 @@ type shardMsg struct {
 	now   time.Time // tick
 	pl    *rules.CompiledRuleSet
 	fl    *rules.CompiledRuleSet
+	key   features.FlowKey  // install/remove target
 	ack   chan<- ShardStats // swap + stats replies
-	ackN  chan<- int        // flush replies
+	ackN  chan<- int        // flush + install/remove replies
 }
 
 // shardWorker is the per-shard state. The worker goroutine (runShard,
@@ -294,6 +306,15 @@ type Server struct {
 	closed  atomic.Bool
 	drained atomic.Bool
 
+	// ctlMu fences the federation apply surface (ApplyInstall,
+	// ApplyRemove, ApplyFlush — the only operations callable from
+	// arbitrary goroutines) against Close: appliers hold the read
+	// side across their closed-check and mailbox sends, and Close
+	// holds the write side while closing the mailboxes, so an applier
+	// can never send on a closed channel. The packet path never
+	// touches it.
+	ctlMu sync.RWMutex
+
 	// nextSeq is the producer-owned sequence counter; ingested mirrors
 	// it (one atomic store per packet instead of a load + RMW pair) so
 	// Stats can read it from outside the producer goroutine.
@@ -342,6 +363,12 @@ func New(cfg Config) (*Server, error) {
 			out = make([]switchsim.Decision, cfg.BatchSize)
 		}
 		w := &shardWorker{id: i, sw: sh.Switch, ctrl: sh.Controller, in: make(chan shardMsg, queue), out: out}
+		if cfg.OnBlacklist != nil && sh.Controller != nil {
+			// Wired before any worker starts, so the observer is
+			// visible to every digest the shard ever delivers.
+			shard := i
+			sh.Controller.SetObserver(func(ev controller.Event) { cfg.OnBlacklist(shard, ev) })
+		}
 		if cfg.BatchSize > 1 {
 			w.free = make(chan *pktBatch, qBatches+1)
 			for j := 0; j < qBatches+1; j++ {
@@ -430,6 +457,30 @@ func (s *Server) handleControl(w *shardWorker, m shardMsg) {
 			// Flush's data-plane removals land on this goroutine,
 			// honouring the switch's ownership contract.
 			n = w.ctrl.Flush()
+		}
+		m.ackN <- n
+	case msgInstall:
+		// Externally decided install (the federation apply path):
+		// through the controller when the shard has one, so capacity
+		// accounting and eviction policy see the entry; straight to
+		// the switch otherwise.
+		n := 0
+		if w.ctrl != nil {
+			if w.ctrl.Install(m.key) {
+				n = 1
+			}
+		} else if w.sw.InstallBlacklist(m.key) {
+			n = 1
+		}
+		m.ackN <- n
+	case msgRemove:
+		n := 0
+		if w.ctrl != nil {
+			if w.ctrl.Remove(m.key) {
+				n = 1
+			}
+		} else {
+			w.sw.RemoveBlacklist(m.key)
 		}
 		m.ackN <- n
 	}
@@ -673,6 +724,77 @@ func (s *Server) FlushBlacklists() (int, error) {
 	return total, nil
 }
 
+// ApplyInstall installs an externally decided blacklist entry — one
+// propagated from another switch by the federation hub — on the key's
+// owning shard, through that shard's controller so capacity accounting
+// and eviction policy apply. It returns once the entry is live (the
+// mailbox ack is a barrier), with applied reporting whether it was
+// newly installed. Unlike the supervisor-only control plane, the
+// Apply* surface is safe from any goroutine (the federation agent's
+// reader calls it concurrently with the producer); it does not touch
+// producer-owned state, so pending batched packets ingested before the
+// call may still be decided under the pre-install table — the
+// federation's eventual-consistency model, not an ordering bug.
+func (s *Server) ApplyInstall(key features.FlowKey) (applied bool, err error) {
+	return s.applyKey(msgInstall, key)
+}
+
+// ApplyRemove withdraws an externally decided blacklist entry from the
+// key's owning shard; the counterpart of ApplyInstall with the same
+// any-goroutine contract. applied reports whether the entry was
+// present on a controller-backed shard.
+func (s *Server) ApplyRemove(key features.FlowKey) (applied bool, err error) {
+	return s.applyKey(msgRemove, key)
+}
+
+// applyKey routes one install/remove to the owning shard and waits for
+// its ack.
+func (s *Server) applyKey(kind int, key features.FlowKey) (bool, error) {
+	key = key.Canonical()
+	w := s.shards[s.shardOf(key.FoldCanonical())]
+	ack := make(chan int, 1)
+	s.ctlMu.RLock()
+	if s.closed.Load() {
+		s.ctlMu.RUnlock()
+		return false, ErrClosed
+	}
+	// The send stays inside the read lock on purpose: Close takes the
+	// write lock before stopping the workers, so holding ctlMu across
+	// the send is exactly what guarantees the mailbox is still drained.
+	// The block is bounded by the shard's queue depth, not indefinite.
+	w.in <- shardMsg{kind: kind, key: key, ackN: ack} //iguard:allow(lockcheck) send-under-RLock is the Close fence; bounded by queue depth
+	s.ctlMu.RUnlock()
+	// The ack arrives even if Close runs now: workers drain their
+	// mailboxes to completion before exiting.
+	return <-ack == 1, nil
+}
+
+// ApplyFlush withdraws every blacklist entry on every shard — the
+// apply path for a fleet-wide FLUSH. It is FlushBlacklists minus the
+// supervisor-only pending-batch hand-off, making it safe from any
+// goroutine; packets still waiting in producer-side batches may
+// re-install entries after it returns, which is the same eventual
+// consistency the rest of the federation surface accepts.
+func (s *Server) ApplyFlush() (int, error) {
+	ack := make(chan int, len(s.shards))
+	s.ctlMu.RLock()
+	if s.closed.Load() {
+		s.ctlMu.RUnlock()
+		return 0, ErrClosed
+	}
+	for _, w := range s.shards {
+		// Same Close fence as applyKey: the read lock must span the
+		// sends so the workers are still draining when they land.
+		w.in <- shardMsg{kind: msgFlush, ackN: ack} //iguard:allow(lockcheck) send-under-RLock is the Close fence; bounded by queue depth
+	}
+	s.ctlMu.RUnlock()
+	total := 0
+	for range s.shards {
+		total += <-ack
+	}
+	return total, nil
+}
+
 // Close stops the intake, drains every shard queue to completion, and
 // stops the workers. Idempotent. Supervisor goroutine only; after
 // Close, Ingest/Swap return ErrClosed and Stats serves the final
@@ -686,9 +808,14 @@ func (s *Server) Close() error {
 		// strands a buffered packet undecided.
 		s.flushPending()
 	}
+	// The write lock waits out any applier that saw closed==false and
+	// is still sending; new appliers observe closed==true. Only then
+	// is closing the mailboxes safe.
+	s.ctlMu.Lock()
 	for _, w := range s.shards {
 		close(w.in)
 	}
+	s.ctlMu.Unlock()
 	s.wg.Wait()
 	s.drained.Store(true)
 	return nil

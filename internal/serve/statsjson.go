@@ -1,0 +1,113 @@
+package serve
+
+import "encoding/json"
+
+// The JSON shapes below are an explicit, versioned-by-review surface:
+// operators parse `iguard-serve -stats-json` output (and fleet
+// dashboards parse the hub's per-node payloads), so field names are
+// spelled out here instead of being derived from Go identifiers. A Go
+// rename must not silently rename a JSON key — that is what the
+// exact-bytes test pins. Durations encode as nanosecond integers, the
+// form that parses losslessly everywhere.
+
+type shardStatsJSON struct {
+	Shard          int    `json:"shard"`
+	Packets        int    `json:"packets"`
+	PathCounts     [6]int `json:"path_counts"`
+	Drops          int    `json:"drops"`
+	Digests        int    `json:"digests"`
+	DigestBytes    int    `json:"digest_bytes"`
+	Recirculated   int    `json:"recirculated"`
+	HardCollisions int    `json:"hard_collisions"`
+	Sweeps         int    `json:"sweeps"`
+	RulesInstalled int    `json:"rules_installed"`
+	RulesEvicted   int    `json:"rules_evicted"`
+	RulesRemoved   int    `json:"rules_removed"`
+	StorageCleared int    `json:"storage_cleared"`
+	ActiveFlows    int    `json:"active_flows"`
+	BlacklistLen   int    `json:"blacklist_len"`
+	AvgLatencyNS   int64  `json:"avg_latency_ns"`
+	QueueDrops     uint64 `json:"queue_drops"`
+	Swaps          int    `json:"swaps"`
+	Batches        uint64 `json:"batches"`
+}
+
+// MarshalJSON implements json.Marshaler with a stable, flat,
+// snake_case encoding.
+func (p ShardStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(shardStatsJSON{
+		Shard:          p.Shard,
+		Packets:        p.Switch.Packets,
+		PathCounts:     p.Switch.PathCounts,
+		Drops:          p.Switch.Drops,
+		Digests:        p.Switch.Digests,
+		DigestBytes:    p.Switch.DigestBytes,
+		Recirculated:   p.Switch.Recirculated,
+		HardCollisions: p.Switch.HardCollisions,
+		Sweeps:         p.Switch.Sweeps,
+		RulesInstalled: p.Controller.RulesInstalled,
+		RulesEvicted:   p.Controller.RulesEvicted,
+		RulesRemoved:   p.Controller.RulesRemoved,
+		StorageCleared: p.Controller.StorageCleared,
+		ActiveFlows:    p.ActiveFlows,
+		BlacklistLen:   p.BlacklistLen,
+		AvgLatencyNS:   int64(p.AvgLatency),
+		QueueDrops:     p.QueueDrops,
+		Swaps:          p.Swaps,
+		Batches:        p.Batches,
+	})
+}
+
+type statsJSON struct {
+	Ingested       uint64       `json:"ingested"`
+	QueueDrops     uint64       `json:"queue_drops"`
+	Packets        int          `json:"packets"`
+	Batches        uint64       `json:"batches"`
+	PathCounts     [6]int       `json:"path_counts"`
+	Drops          int          `json:"drops"`
+	Digests        int          `json:"digests"`
+	DigestBytes    int          `json:"digest_bytes"`
+	Recirculated   int          `json:"recirculated"`
+	HardCollisions int          `json:"hard_collisions"`
+	RulesInstalled int          `json:"rules_installed"`
+	RulesEvicted   int          `json:"rules_evicted"`
+	BlacklistLen   int          `json:"blacklist_len"`
+	ActiveFlows    int          `json:"active_flows"`
+	Sweeps         int          `json:"sweeps"`
+	Ticks          uint64       `json:"ticks"`
+	Swaps          int          `json:"swaps"`
+	TraceElapsedNS int64        `json:"trace_elapsed_ns"`
+	WallElapsedNS  int64        `json:"wall_elapsed_ns"`
+	PPS            float64      `json:"pps"`
+	AvgLatencyNS   int64        `json:"avg_latency_ns"`
+	Shards         []ShardStats `json:"shards"`
+}
+
+// MarshalJSON implements json.Marshaler with a stable snake_case
+// encoding; the per-shard snapshots nest under "shards".
+func (st Stats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(statsJSON{
+		Ingested:       st.Ingested,
+		QueueDrops:     st.QueueDrops,
+		Packets:        st.Packets,
+		Batches:        st.Batches,
+		PathCounts:     st.PathCounts,
+		Drops:          st.Drops,
+		Digests:        st.Digests,
+		DigestBytes:    st.DigestBytes,
+		Recirculated:   st.Recirculated,
+		HardCollisions: st.HardCollisions,
+		RulesInstalled: st.RulesInstalled,
+		RulesEvicted:   st.RulesEvicted,
+		BlacklistLen:   st.BlacklistLen,
+		ActiveFlows:    st.ActiveFlows,
+		Sweeps:         st.Sweeps,
+		Ticks:          st.Ticks,
+		Swaps:          st.Swaps,
+		TraceElapsedNS: int64(st.TraceElapsed),
+		WallElapsedNS:  int64(st.WallElapsed),
+		PPS:            st.PPS,
+		AvgLatencyNS:   int64(st.AvgLatency),
+		Shards:         st.Shards,
+	})
+}
