@@ -1,6 +1,6 @@
 # Convenience targets for the iGuard reproduction.
 
-.PHONY: build test bench bench-parallel bench-serve bench-batch bench-rules eval eval-quick examples fmt vet vet-hotpath lint fix sarif race race-batch race-fed fuzz-fed p4lint
+.PHONY: build test bench bench-parallel bench-serve bench-batch bench-mp bench-rules eval eval-quick examples fmt vet vet-hotpath lint fix sarif race race-batch race-mp race-fed fuzz-fed p4lint
 
 build:
 	go build ./...
@@ -28,6 +28,13 @@ bench-serve:
 bench-batch:
 	go test -bench 'BenchmarkProcessBatch|BenchmarkServeThroughput' -benchmem -run '^$$' ./internal/serve
 	go test -bench 'BenchmarkMatchColumns' -benchmem -run '^$$' ./internal/rules
+
+# Multi-producer fan-in scaling: P concurrent lanes (1/2/4/8) driving
+# a 4-shard batched server, swept across GOMAXPROCS so the pps metric
+# shows the machine's actual scaling curve (on one core, extra lanes
+# measure contention overhead only).
+bench-mp:
+	go test -bench 'BenchmarkServeThroughputMP' -benchmem -cpu 1,4 -run '^$$' ./internal/serve
 
 # Whitelist matcher microbenchmarks: bit-vector index vs the linear
 # reference scan at 16/128/1024 rules, plus compile cost.
@@ -93,6 +100,12 @@ race:
 # batching, flush deadlines, buffer pool recycling, batch equivalence).
 race-batch:
 	go test -race -run 'Batch|Flush' ./internal/serve ./internal/switchsim
+
+# Focused race pass over the multi-producer ingest machinery: lane
+# contract, concurrent drop conservation, parallel decode source, and
+# single-lane byte-identity under the detector.
+race-mp:
+	go test -race -run 'MultiProducer|ConcurrentLane|ParallelBatchSource|ReplayParallel|ProducerErrors|StatsLane' ./internal/serve
 
 # Focused race pass over the federation subsystem: the frame codec,
 # hub broadcast/dedup/join-replay, and the agent's reconnect + bounded

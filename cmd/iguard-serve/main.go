@@ -59,6 +59,7 @@ func main() {
 		sweepEvery = flag.Duration("sweep", 5*time.Second, "idle-flow sweep cadence in trace time (0 disables)")
 		batchSize  = flag.Int("batch", 64, "per-shard hand-off batch size (0 or 1 serves per packet)")
 		batchFlush = flag.Duration("batch-flush", 0, "trace-time flush deadline for partial batches (0 = 1ms when batching)")
+		producers  = flag.Int("producers", 1, "ingest lane count (RSS-style; >1 replays through concurrent producer goroutines)")
 		statsEvery = flag.Duration("stats-every", 0, "print live aggregate stats at this wall-clock interval (0 disables)")
 		statsJSON  = flag.Bool("stats-json", false, "print the final aggregate stats as one JSON object (machine-parseable)")
 		hubAddr    = flag.String("hub", "", "federation hub address; empty runs standalone")
@@ -81,7 +82,8 @@ func main() {
 	cfg.SweepEvery = *sweepEvery
 	cfg.BatchSize = *batchSize
 	cfg.BatchFlush = *batchFlush
-	cfg.OnDecision = func(int, uint64, *iguard.Packet, switchsim.Decision) {
+	cfg.Producers = *producers
+	cfg.OnDecision = func(int, uint32, uint64, *iguard.Packet, switchsim.Decision) {
 		decisions.Add(1)
 	}
 	// agent is written once, before the replay producer starts; the
@@ -118,9 +120,12 @@ func main() {
 		agent.Start()
 		fmt.Printf("federating with hub %s as node %d\n", *hubAddr, *nodeID)
 	}
-	if *batchSize > 1 {
+	switch {
+	case *producers > 1 && *batchSize > 1:
+		fmt.Printf("serving %d shard(s), batch=%d, producers=%d; whitelist: %s\n", *shards, *batchSize, *producers, matcherInfo(det.CompiledRules()))
+	case *batchSize > 1:
 		fmt.Printf("serving %d shard(s), batch=%d; whitelist: %s\n", *shards, *batchSize, matcherInfo(det.CompiledRules()))
-	} else {
+	default:
 		fmt.Printf("serving %d shard(s); whitelist: %s\n", *shards, matcherInfo(det.CompiledRules()))
 	}
 
@@ -131,7 +136,8 @@ func main() {
 	defer closer()
 
 	// The supervisor goroutine below is the only caller of Swap, Stats
-	// and Close; the replay goroutine is the single producer. That is
+	// and Close; the replay goroutine drives the ingest lanes (lane 0
+	// alone via Replay, or all of them via ReplayParallel). That is
 	// exactly the concurrency contract internal/serve documents.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -143,8 +149,16 @@ func main() {
 	go func() {
 		// Replay streams through the batch face (native for trace
 		// sources, adapted for PCAP) and flushes the pending tail at
-		// end of stream.
-		acc, drop, err := srv.Replay(ctx, src)
+		// end of stream. With more than one producer lane the replay
+		// fans out RSS-style: decode workers compute keys and folds
+		// off the lanes, and every lane ingests concurrently.
+		var acc, drop uint64
+		var err error
+		if *producers > 1 {
+			acc, drop, err = srv.ReplayParallel(ctx, serve.AsBatchSource(src))
+		} else {
+			acc, drop, err = srv.Replay(ctx, src)
+		}
 		done <- replayResult{acc, drop, err}
 	}()
 

@@ -46,6 +46,7 @@ func main() {
 		dropPolicy = flag.String("drop-policy", "block", "backpressure policy: block or drop")
 		batchSize  = flag.Int("batch", 64, "per-shard hand-off batch size (0 or 1 serves per packet)")
 		batchFlush = flag.Duration("batch-flush", 0, "trace-time flush deadline for partial batches (0 = 1ms when batching)")
+		producers  = flag.Int("producers", 1, "ingest lane count (RSS-style; >1 replays through concurrent producer goroutines)")
 	)
 	flag.Parse()
 
@@ -81,23 +82,34 @@ func main() {
 		packets = truth.Packets
 	}
 
-	// OnDecision fires on shard goroutines, but seq numbers are dense
-	// over accepted packets, so writes land on distinct indices and are
+	// OnDecision fires on shard goroutines; (lane, seq) identifies a
+	// packet, with seq dense per lane over accepted packets, so each
+	// lane gets its own arrays and writes land on distinct indices,
 	// visible after Close (the drain is a happens-before barrier).
-	preds := make([]int, len(packets))
-	truths := make([]int, len(packets))
-	scores := make([]float64, len(packets))
+	nLanes := *producers
+	if nLanes < 1 {
+		nLanes = 1
+	}
+	preds := make([][]int, nLanes)
+	truths := make([][]int, nLanes)
+	scores := make([][]float64, nLanes)
+	for l := range preds {
+		preds[l] = make([]int, len(packets))
+		truths[l] = make([]int, len(packets))
+		scores[l] = make([]float64, len(packets))
+	}
 	cfg := iguard.DefaultServeConfig()
 	cfg.Shards = *shards
 	cfg.QueueDepth = *queue
 	cfg.Policy = policy
 	cfg.BatchSize = *batchSize
 	cfg.BatchFlush = *batchFlush
-	cfg.OnDecision = func(_ int, seq uint64, p *iguard.Packet, d switchsim.Decision) {
-		preds[seq] = d.Predicted
-		scores[seq] = float64(d.Predicted)
+	cfg.Producers = *producers
+	cfg.OnDecision = func(_ int, lane uint32, seq uint64, p *iguard.Packet, d switchsim.Decision) {
+		preds[lane][seq] = d.Predicted
+		scores[lane][seq] = float64(d.Predicted)
 		if truth != nil && truth.IsMalicious(features.KeyOf(p)) {
-			truths[seq] = 1
+			truths[lane][seq] = 1
 		}
 	}
 	srv, err := det.NewServer(cfg)
@@ -105,7 +117,12 @@ func main() {
 		fatal(err)
 	}
 
-	_, dropped, err := srv.Replay(context.Background(), serve.NewTraceSource(packets))
+	var dropped uint64
+	if *producers > 1 {
+		_, dropped, err = srv.ReplayParallel(context.Background(), serve.NewTraceSource(packets))
+	} else {
+		_, dropped, err = srv.Replay(context.Background(), serve.NewTraceSource(packets))
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -133,7 +150,18 @@ func main() {
 	fmt.Printf("whitelist matcher: %s\n", matcherInfo(det.CompiledRules()))
 
 	if truth != nil {
-		s := metrics.Evaluate(scores[:st.Packets], preds[:st.Packets], truths[:st.Packets])
+		// Flatten each lane's dense prefix (Stats reports per-lane
+		// ingest counts); the per-packet metrics are order-invariant,
+		// so lane concatenation order does not matter.
+		var flatScores []float64
+		var flatPreds, flatTruths []int
+		for _, l := range st.Lanes {
+			n := int(l.Ingested)
+			flatScores = append(flatScores, scores[l.Lane][:n]...)
+			flatPreds = append(flatPreds, preds[l.Lane][:n]...)
+			flatTruths = append(flatTruths, truths[l.Lane][:n]...)
+		}
+		s := metrics.Evaluate(flatScores, flatPreds, flatTruths)
 		fmt.Printf("\nper-packet detection: macroF1=%.3f PRAUC=%.3f ROCAUC=%.3f\n", s.MacroF1, s.PRAUC, s.ROCAUC)
 	}
 }

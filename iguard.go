@@ -705,8 +705,15 @@ type ServeConfig struct {
 	// wait before being handed off (0 = 1ms when batching is on). See
 	// serve.Config.BatchFlush.
 	BatchFlush time.Duration
-	// OnDecision observes every processed packet; see serve.Config.
-	OnDecision func(shard int, seq uint64, p *Packet, d switchsim.Decision)
+	// Producers is the ingest lane count (0 = 1). Each lane is an
+	// independent sequence space driven by one producer goroutine; see
+	// serve.Config.Producers and the OnDecision ordering contract.
+	Producers int
+	// OnDecision observes every processed packet. seq is dense and
+	// monotone within its lane, with no order across lanes — (lane,
+	// seq) identifies a packet; with one producer lane it degenerates
+	// to a single global sequence. See serve.Config.OnDecision.
+	OnDecision func(shard int, lane uint32, seq uint64, p *Packet, d switchsim.Decision)
 	// OnBlacklist observes blacklist transitions the shard controllers
 	// decide locally (installs and capacity evictions). It runs on
 	// shard goroutines and must be cheap and non-blocking; externally
@@ -751,6 +758,12 @@ func (c ServeConfig) Validate() error {
 	if c.BatchFlush > 0 && c.BatchSize <= 1 {
 		add("BatchFlush (%v) requires BatchSize > 1, got %d", c.BatchFlush, c.BatchSize)
 	}
+	if c.Producers < 0 {
+		add("Producers must be non-negative (0 means 1), got %d", c.Producers)
+	}
+	if c.Producers > serve.MaxProducers {
+		add("Producers must be at most %d, got %d", serve.MaxProducers, c.Producers)
+	}
 	return errors.Join(errs...)
 }
 
@@ -789,6 +802,7 @@ func (d *Detector) NewServer(cfg ServeConfig) (*serve.Server, error) {
 		SweepEvery:  cfg.SweepEvery,
 		BatchSize:   cfg.BatchSize,
 		BatchFlush:  cfg.BatchFlush,
+		Producers:   cfg.Producers,
 		OnDecision:  cfg.OnDecision,
 		OnBlacklist: cfg.OnBlacklist,
 		Now:         cfg.Now,

@@ -183,7 +183,7 @@ func TestFederationDeadHubStandaloneIdentical(t *testing.T) {
 	run := func(federated bool) []switchsim.Decision {
 		got := make([]switchsim.Decision, len(trace.Packets))
 		var agent *fed.Agent
-		cfg := ServeConfig{Shards: 2, OnDecision: func(_ int, seq uint64, _ *Packet, d switchsim.Decision) {
+		cfg := ServeConfig{Shards: 2, OnDecision: func(_ int, _ uint32, seq uint64, _ *Packet, d switchsim.Decision) {
 			got[seq] = d
 		}}
 		if federated {

@@ -127,7 +127,7 @@ func TestNewServerDecisionsMatchDeployment(t *testing.T) {
 	}
 
 	got := make([]switchsim.Decision, len(trace.Packets))
-	scfg := ServeConfig{Shards: 1, OnDecision: func(_ int, seq uint64, _ *Packet, d switchsim.Decision) {
+	scfg := ServeConfig{Shards: 1, OnDecision: func(_ int, _ uint32, seq uint64, _ *Packet, d switchsim.Decision) {
 		got[seq] = d
 	}}
 	srv, err := det.NewServer(scfg)

@@ -122,7 +122,7 @@ func TestHotpathPlantedAllocation(t *testing.T) {
 		}
 	}
 	copyFile("go.mod")
-	for _, pkg := range []string{"internal/netpkt", "internal/features", "internal/rules", "internal/switchsim"} {
+	for _, pkg := range []string{"internal/mathx", "internal/netpkt", "internal/features", "internal/rules", "internal/switchsim"} {
 		entries, err := os.ReadDir(filepath.Join(root, pkg))
 		if err != nil {
 			t.Fatal(err)

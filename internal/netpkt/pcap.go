@@ -167,6 +167,25 @@ func (pr *PcapReader) NextValid() (Packet, error) {
 	}
 }
 
+// NextValidBatch fills buf with up to len(buf) parseable IPv4 packets,
+// skipping the frames NextValid skips, and returns how many it wrote.
+// It is the batch face of NextValid — one call per batch instead of
+// one per packet, which is what lets a replaying producer amortise the
+// read loop. buf[:n] is valid even when err is non-nil (a partial
+// batch is delivered together with io.EOF or the stream error that cut
+// it short).
+func (pr *PcapReader) NextValidBatch(buf []Packet) (n int, err error) {
+	for n < len(buf) {
+		p, err := pr.NextValid()
+		if err != nil {
+			return n, err
+		}
+		buf[n] = p
+		n++
+	}
+	return n, nil
+}
+
 // ReadAll drains the reader, silently skipping unparseable frames, and
 // returns every IPv4 packet.
 func (pr *PcapReader) ReadAll() ([]Packet, error) {

@@ -1,5 +1,7 @@
 package rules
 
+import "iguard/internal/mathx"
+
 // This file is the batch face of the bit-vector matcher: where
 // MatchCodes answers one quantised vector at a time, MatchColumns
 // answers a whole batch laid out feature-major ("columns"), the shape
@@ -12,13 +14,20 @@ package rules
 // Verdicts are identical to calling Match on each column by
 // construction; the differential tests pin it.
 
-// bvBatchWordCut is the bitmap word count above which MatchColumns
-// abandons the word-parallel plane walk and answers each column with
-// MatchCodes. Up to this many words (≤ 64·bvBatchWordCut rules) the
-// planes are small enough that folding all of them beats branching;
-// past it MatchCodes' early exits win on miss-heavy batches. Chosen
-// from the BenchmarkMatchColumns crossover.
-const bvBatchWordCut = 2
+// batchProbeColumns is the probe-batch size calibrateBatch replays
+// through both batch arms' cost models when Compile picks the
+// MatchColumns implementation for a rule set.
+const batchProbeColumns = 256
+
+// batchHybridFoldWeight scales the early-exit arm's fold count when
+// calibrateBatch compares the two arms: each of its folds carries a
+// dead-accumulator branch and a per-column gather where the plane
+// walk's fold is branch-free and cache-linear, so an early-exit fold
+// costs more than a plane fold. Fitted from the forced-arm
+// BenchmarkMatchColumns crossover, which lands between 4 words
+// (plane/hybrid fold ratio 1.39, plane walk faster) and 8 words
+// (ratio 2.03, early-exit faster) on miss-heavy uniform batches.
+const batchHybridFoldWeight = 1.7
 
 // BatchScratch is caller-owned scratch for MatchColumns. The zero
 // value is ready to use; it grows to the largest dims × batch shape it
@@ -86,12 +95,13 @@ func (c *CompiledRuleSet) MatchColumns(dst []int, codes []uint64, stride, n int,
 		c.matchColumnsLinear(dst, codes, stride, n)
 		return
 	}
-	if ix.words > bvBatchWordCut {
-		// Wide sets: the word-parallel walk below must fold every
-		// plane of every word for the whole batch, while MatchCodes
-		// carries two early exits (dead accumulator, first hit) — on
-		// miss-heavy batches those cuts dominate once the rule set
-		// spans many words, so gather each column and take them.
+	if !ix.usePlanes {
+		// Wide sets (per Compile's calibration, not a hardcoded word
+		// cut): the plane walk below must fold every plane of every
+		// word for the whole batch, while MatchCodes carries two early
+		// exits (dead accumulator, first hit) — on miss-heavy batches
+		// those cuts dominate once the rule set spans many words, so
+		// gather each column and take them.
 		var buf [bvMaxDims]uint64
 		for i := 0; i < n; i++ {
 			for f := 0; f < dims; f++ {
@@ -153,6 +163,56 @@ func (c *CompiledRuleSet) MatchColumns(dst []int, codes []uint64, stride, n int,
 			}
 		}
 	}
+}
+
+// BatchMatcherKind names the MatchColumns arm Compile's calibration
+// picked for this set: "columns" (word-parallel plane walk), "hybrid"
+// (shared location pass + per-column early-exit AND), or "linear" when
+// there is no bit-vector index.
+func (c *CompiledRuleSet) BatchMatcherKind() string {
+	if c.bv == nil {
+		return "linear"
+	}
+	if c.bv.usePlanes {
+		return "columns"
+	}
+	return "hybrid"
+}
+
+// calibrateBatch picks the MatchColumns arm for this index by replaying
+// a deterministic uniform probe batch through both arms' cost models —
+// a measured per-compile decision instead of a hardcoded word-count
+// cutover. The plane walk folds exactly words × dims planes per column;
+// the early-exit walk's fold count depends on how quickly accumulators
+// die on this rule geometry, which the probe batch measures directly.
+// Runs once per Compile, off the packet path.
+func (ix *bvIndex) calibrateBatch() {
+	dims := len(ix.feats)
+	r := mathx.NewRand(int64(ix.words)*64 + int64(dims))
+	planeFolds := batchProbeColumns * ix.words * dims
+	hybridFolds := 0
+	var rowBuf [bvMaxDims]uint32
+	for c := 0; c < batchProbeColumns; c++ {
+		for f := 0; f < dims; f++ {
+			ft := &ix.feats[f]
+			rowBuf[f] = ft.locate(uint64(r.Int63n(int64(ft.levels))))
+		}
+		for w := 0; w < ix.words; w++ {
+			word := ^uint64(0)
+			for f := 0; f < dims; f++ {
+				ft := &ix.feats[f]
+				hybridFolds++
+				word &= ft.bitmaps[w*ft.nivs+int(rowBuf[f])]
+				if word == 0 {
+					break
+				}
+			}
+			if word != 0 {
+				break
+			}
+		}
+	}
+	ix.usePlanes = float64(planeFolds) <= float64(hybridFolds)*batchHybridFoldWeight
 }
 
 // matchColumnsLinear is the column-gathering fallback for sets without

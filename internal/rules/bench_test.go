@@ -92,7 +92,25 @@ func BenchmarkMatchColumns(b *testing.B) {
 				c.MatchCodes(probes[i%n])
 			}
 		})
+		// The two batch arms forced each way, plus the calibrated
+		// per-compile choice — the spread between "columns" and
+		// "hybrid" at each rule count is what calibrateBatch arbitrates.
 		b.Run(fmt.Sprintf("impl=columns/rules=%d", count), func(b *testing.B) {
+			c.bv.usePlanes = true
+			b.ReportAllocs()
+			for i := 0; i < b.N; i += n {
+				c.MatchColumns(dst, cols, n, n, &scratch)
+			}
+		})
+		b.Run(fmt.Sprintf("impl=hybrid/rules=%d", count), func(b *testing.B) {
+			c.bv.usePlanes = false
+			b.ReportAllocs()
+			for i := 0; i < b.N; i += n {
+				c.MatchColumns(dst, cols, n, n, &scratch)
+			}
+		})
+		b.Run(fmt.Sprintf("impl=auto/rules=%d", count), func(b *testing.B) {
+			c.bv.calibrateBatch()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i += n {
 				c.MatchColumns(dst, cols, n, n, &scratch)

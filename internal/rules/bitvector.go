@@ -77,6 +77,9 @@ type bvIndex struct {
 	// words is the bitmap width: ceil(len(rules)/64).
 	words int
 	feats []bvFeature
+	// usePlanes selects MatchColumns' word-parallel plane walk over the
+	// per-column early-exit walk; set by calibrateBatch at Compile.
+	usePlanes bool
 }
 
 // bytes reports the index's memory footprint.

@@ -309,6 +309,9 @@ func Compile(rs *RuleSet, q *Quantizer) *CompiledRuleSet {
 		out.TotalEntries += TCAMEntries(tr, q)
 	}
 	out.bv = buildBVIndex(out.Rules, q)
+	if out.bv != nil {
+		out.bv.calibrateBatch()
+	}
 	return out
 }
 

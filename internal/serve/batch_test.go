@@ -25,7 +25,7 @@ func newSeqRecorder(n int) *seqRecorder {
 	return &seqRecorder{recs: make([]decisionRecord, n), seen: make([]bool, n)}
 }
 
-func (r *seqRecorder) onDecision(_ int, seq uint64, _ *netpkt.Packet, d switchsim.Decision) {
+func (r *seqRecorder) onDecision(_ int, _ uint32, seq uint64, _ *netpkt.Packet, d switchsim.Decision) {
 	r.recs[seq] = decisionRecord{Path: d.Path, Predicted: d.Predicted, Dropped: d.Dropped}
 	r.seen[seq] = true
 }
@@ -136,7 +136,7 @@ func TestBatchFlushDeadline(t *testing.T) {
 		BatchFlush: time.Millisecond,
 		Policy:     Block,
 		NewShard:   testShardFactory(acceptAllFL(), 8, time.Hour),
-		OnDecision: func(int, uint64, *netpkt.Packet, switchsim.Decision) { decided.Add(1) },
+		OnDecision: func(int, uint32, uint64, *netpkt.Packet, switchsim.Decision) { decided.Add(1) },
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -129,6 +130,79 @@ func BenchmarkServeThroughput(b *testing.B) {
 			if err := srv.Flush(); err != nil {
 				b.Fatal(err)
 			}
+			if err := srv.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			st := srv.Stats()
+			if st.Packets != b.N {
+				b.Fatalf("processed %d packets, want %d", st.Packets, b.N)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pps")
+		})
+	}
+}
+
+// BenchmarkServeThroughputMP measures the multi-producer ingest fan-in:
+// P concurrent lanes split the packet budget and drive their own
+// IngestBatch loops against a 4-shard batched server, so ns/op is per
+// packet wall-clock across the whole fan-in (drain included) and the
+// reported pps is the end-to-end rate. producers=1 is the lane
+// machinery at single-producer cost (the regression guard against
+// BenchmarkServeThroughput/shards=4); higher lane counts only scale on
+// multi-core hosts — sweep with -cpu 1,4,8 to see the machine's
+// scaling curve, since on one core extra lanes measure pure contention
+// overhead.
+func BenchmarkServeThroughputMP(b *testing.B) {
+	pkts := benchPackets(b)
+	pl := benchPLRules(256)
+	const batch = 64
+	const shards = 4
+	for _, producers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("producers=%d", producers), func(b *testing.B) {
+			srv, err := New(Config{
+				Shards:     shards,
+				QueueDepth: 1024,
+				Policy:     Block,
+				BatchSize:  batch,
+				Producers:  producers,
+				NewShard:   benchShardFactory(pl),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-split the budget so the timed region is pure ingest:
+			// lane l sends share[l] packets in batch-sized slices.
+			share := make([]int, producers)
+			for i := 0; i < producers; i++ {
+				share[i] = b.N / producers
+			}
+			share[0] += b.N % producers
+			b.ResetTimer()
+			b.ReportAllocs()
+			var wg sync.WaitGroup
+			for l := 0; l < producers; l++ {
+				wg.Add(1)
+				go func(p *Producer, budget int) {
+					defer wg.Done()
+					for n := 0; n < budget; {
+						off := n % (len(pkts) - batch)
+						chunk := batch
+						if rem := budget - n; rem < chunk {
+							chunk = rem
+						}
+						if _, _, err := p.IngestBatch(pkts[off : off+chunk]); err != nil {
+							b.Error(err)
+							return
+						}
+						n += chunk
+					}
+					if err := p.Flush(); err != nil {
+						b.Error(err)
+					}
+				}(srv.Producer(l), share[l])
+			}
+			wg.Wait()
 			if err := srv.Close(); err != nil {
 				b.Fatal(err)
 			}

@@ -23,22 +23,35 @@
 // steady-state batch path touches the heap exactly never, on both
 // sides of the channel.
 //
-// Concurrency contract: Ingest/IngestBatch/Replay/ReplayBatch/Flush
-// form the producer side and must be called from one goroutine at a
-// time; Swap, Stats, and Close are control-plane operations for the
-// same supervising goroutine (or one that otherwise serialises against
-// the producer and each other). Decision callbacks run on shard
-// goroutines — serially within a shard, concurrently across shards;
-// the packet pointer an observer receives is only valid for the
-// duration of the callback. This single-supervisor shape is what lets
-// the packet path stay lock-free.
+// Ingest is multi-producer, RSS-style: Config.Producers opens N
+// sequence lanes, each owned by one producer goroutine (Producer).
+// Every lane numbers its packets with its own dense monotone sequence,
+// computes canonical keys and folds producer-side, and fills private
+// per-shard batch buffers — producers share nothing hot, so ingest
+// scales with cores the way receive-side scaling distributes NIC
+// queues. Decisions carry (lane, seq): totally ordered within a lane,
+// deliberately unordered across lanes (see OnDecision).
+//
+// Concurrency contract: each Producer's face
+// (Ingest/IngestBatch/IngestDecoded/Replay*/Flush — the Server-level
+// methods are lane 0's) must be called from one goroutine at a time,
+// but distinct lanes run concurrently. Swap, FlushBlacklists, and
+// Stats are control-plane operations for one supervising goroutine;
+// they may run concurrently with producers (they are barriers relative
+// to batches already handed off, not to packets still pending in
+// producer-owned buffers — a lane's pending batch flushes on its own
+// BatchSize/BatchFlush cadence or via its Flush). Close requires every
+// producer goroutine to have quiesced first (join them before calling
+// it); it then drains every lane's pending batches and every shard
+// queue. Decision callbacks run on shard goroutines — serially within
+// a shard, concurrently across shards; the packet pointer an observer
+// receives is only valid for the duration of the callback.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -131,14 +144,28 @@ type Config struct {
 	// producer an explicit hand-off point (Replay/ReplayBatch call it
 	// at end of stream).
 	BatchFlush time.Duration
+	// Producers is the ingest lane count: New builds one Producer per
+	// lane (Server.Producer(i) hands them out; the Server's own
+	// Ingest/IngestBatch/Replay face is lane 0). Each lane is driven by
+	// one goroutine; distinct lanes run concurrently. Defaults to 1,
+	// which is byte-identical to the single-producer runtime.
+	Producers int
 	// NewShard builds worker i's private pair. Required. It is called
 	// Shards times from New, before any worker starts.
 	NewShard func(shard int) Shard
-	// OnDecision, when non-nil, observes every processed packet: seq
-	// is the packet's ingest sequence number (dense over accepted
-	// packets, in producer order). Called on shard goroutines —
-	// serially within a shard, concurrently across shards.
-	OnDecision func(shard int, seq uint64, p *netpkt.Packet, d switchsim.Decision)
+	// OnDecision, when non-nil, observes every processed packet.
+	//
+	// Ordering contract: seq is dense and monotone within its lane
+	// (lane l's packets are numbered 0,1,2,… in that lane's ingest
+	// order, with gaps only where the Drop policy shed), and decisions
+	// of one lane's packets on one shard arrive in lane order. Across
+	// lanes there is NO order: two producers race to their shards
+	// exactly like two RSS queues race to cores, so (lane, seq) — not
+	// seq alone — identifies a packet. With Producers == 1 this
+	// degenerates to the old global contract (lane is always 0, seq is
+	// globally dense). Called on shard goroutines — serially within a
+	// shard, concurrently across shards.
+	OnDecision func(shard int, lane uint32, seq uint64, p *netpkt.Packet, d switchsim.Decision)
 	// OnBlacklist, when non-nil, observes blacklist transitions the
 	// shard controllers decide locally (installs and capacity
 	// evictions; see controller.SetObserver for exactly which
@@ -163,11 +190,20 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 1024
 	}
+	if c.Producers <= 0 {
+		c.Producers = 1
+	}
 	if c.BatchSize > 1 && c.BatchFlush <= 0 {
 		c.BatchFlush = time.Millisecond
 	}
 	return c
 }
+
+// MaxProducers bounds Config.Producers: lanes cost per-shard batch
+// buffers and per-lane bookkeeping, and no machine feeds thousands of
+// concurrent ingest goroutines usefully, so beyond this it is a
+// configuration error.
+const MaxProducers = 1 << 10
 
 // MaxBatchSize bounds Config.BatchSize: beyond this, batch buffers
 // stop fitting in cache and the flush deadline dominates latency, so
@@ -204,6 +240,12 @@ func (c Config) Validate() error {
 	if c.BatchFlush > 0 && c.BatchSize <= 1 {
 		add("BatchFlush is %v but BatchSize is %d; the flush deadline needs batching on", c.BatchFlush, c.BatchSize)
 	}
+	if c.Producers < 0 {
+		add("Producers is %d, want >= 0 (0 means default)", c.Producers)
+	}
+	if c.Producers > MaxProducers {
+		add("Producers is %d, want <= %d", c.Producers, MaxProducers)
+	}
 	return errors.Join(errs...)
 }
 
@@ -226,6 +268,7 @@ type shardMsg struct {
 	kind  int
 	pkt   *netpkt.Packet
 	batch *pktBatch
+	lane  uint32
 	seq   uint64
 	now   time.Time // tick
 	pl    *rules.CompiledRuleSet
@@ -253,33 +296,44 @@ type shardWorker struct {
 	//iguard:ownedby(shard)
 	final ShardStats
 
-	// Batch-mode state (nil/unused when Config.BatchSize <= 1).
-	// pending is the producer-side fill buffer — producer goroutine
-	// only, like Server.lastTick. free recycles drained batch buffers
-	// from the worker back to the producer; together with pending and
-	// whatever sits in the mailbox it forms a fixed pool, so the
-	// steady-state batch path never allocates. out is the worker's
-	// decision scratch for ProcessBatch. batches counts delivered
-	// batches (worker-owned, snapshotted like swaps).
-	pending *pktBatch // producer-owned
-	free    chan *pktBatch
+	// Batch-mode state (nil/unused when Config.BatchSize <= 1). Each
+	// producer lane keeps its own pending fill buffer per shard (see
+	// Producer.pending); free recycles drained batch buffers from the
+	// worker back to whichever lane hands off next. Together with the
+	// lanes' pendings and whatever sits in the mailbox the buffers form
+	// a fixed pool — its capacity covers every buffer in existence, so
+	// neither the worker's recycle nor a producer's post-hand-off take
+	// ever blocks, and the steady-state batch path never allocates. out
+	// is the worker's decision scratch for ProcessBatch. batches counts
+	// delivered batches (worker-owned, snapshotted like swaps).
+	free chan *pktBatch
 	//iguard:ownedby(shard)
 	out []switchsim.Decision
 	//iguard:ownedby(shard)
 	batches uint64
+	// lastSweep drops stale sweep ticks: with concurrent lanes, the
+	// producer that won a tick's CAS may deliver it after a later
+	// lane's tick already reached this shard, and SweepTimeouts
+	// requires non-decreasing time. Single-lane ticks arrive in order,
+	// so the guard never fires there.
+	//iguard:ownedby(shard)
+	lastSweep time.Time
 }
 
 // pktBatch is one per-shard hand-off unit: up to BatchSize packets
 // stored by value (enqueueing copies, decoupling the batch from the
 // producer's read buffer) with their canonical flow keys and key
 // folds — computed once for routing, reused by ProcessBatch — and
-// ingest sequence numbers. n is the fill level; the backing slices
-// are allocated once at pool construction and never grow.
+// ingest sequence numbers. A batch belongs to exactly one lane (lane
+// is stamped at hand-off; buffers recycle freely across lanes through
+// the shared pool). n is the fill level; the backing slices are
+// allocated once at pool construction and never grow.
 type pktBatch struct {
 	pkts  []netpkt.Packet
 	keys  []features.FlowKey
 	folds []uint32
 	seqs  []uint64
+	lane  uint32
 	n     int
 }
 
@@ -315,19 +369,21 @@ type Server struct {
 	// touches it.
 	ctlMu sync.RWMutex
 
-	// nextSeq is the producer-owned sequence counter; ingested mirrors
-	// it (one atomic store per packet instead of a load + RMW pair) so
-	// Stats can read it from outside the producer goroutine.
-	nextSeq    uint64 // producer-owned
-	ingested   atomic.Uint64
+	// producers holds the ingest lanes, built in New (lane i at index
+	// i); the Server-level ingest face is producers[0]'s. The slice is
+	// immutable after New.
+	producers  []*Producer
 	queueDrops atomic.Uint64
 
-	// Trace clock, unix-nano encoded so Stats can read it from outside
-	// the producer goroutine. Zero means "no packet seen yet".
+	// Trace clock, unix-nano encoded and CAS-advanced so concurrent
+	// lanes and Stats can all touch it. Zero means "no packet seen
+	// yet"; traceNow only moves forward (advanceTrace). lastTickNS is
+	// the sweep-tick election slot: the lane whose CAS moves it wins
+	// the tick and broadcasts alone, so tick times strictly increase
+	// even with racing lanes.
 	traceStart atomic.Int64
 	traceNow   atomic.Int64
-	lastTick   int64 // producer-owned
-	lastFlush  int64 // producer-owned; batch flush deadline anchor
+	lastTickNS atomic.Int64
 	ticks      atomic.Uint64
 
 	wallStart time.Time // set in New when cfg.Now != nil
@@ -345,9 +401,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	// In batch mode the mailbox is measured in batches, preserving the
 	// configured packet-count buffering; the buffer pool holds one more
-	// batch than can be in flight (mailbox + one at the worker + the
-	// producer's pending), so recycling never blocks the worker and a
-	// successful hand-off always finds a fresh pending buffer waiting.
+	// batch than the mailbox plus the worker can hold, plus one pending
+	// buffer per producer lane, so recycling never blocks the worker
+	// and a successful hand-off always finds a fresh pending buffer
+	// waiting no matter which lane took the last one.
 	queue, qBatches := cfg.QueueDepth, 0
 	if cfg.BatchSize > 1 {
 		qBatches = (cfg.QueueDepth + cfg.BatchSize - 1) / cfg.BatchSize
@@ -370,13 +427,22 @@ func New(cfg Config) (*Server, error) {
 			sh.Controller.SetObserver(func(ev controller.Event) { cfg.OnBlacklist(shard, ev) })
 		}
 		if cfg.BatchSize > 1 {
-			w.free = make(chan *pktBatch, qBatches+1)
+			w.free = make(chan *pktBatch, qBatches+1+cfg.Producers)
 			for j := 0; j < qBatches+1; j++ {
 				w.free <- newBatch(cfg.BatchSize)
 			}
-			w.pending = newBatch(cfg.BatchSize)
 		}
 		s.shards = append(s.shards, w)
+	}
+	for lane := 0; lane < cfg.Producers; lane++ {
+		p := &Producer{s: s, lane: uint32(lane)}
+		if cfg.BatchSize > 1 {
+			p.pending = make([]*pktBatch, len(s.shards))
+			for i := range p.pending {
+				p.pending[i] = newBatch(cfg.BatchSize)
+			}
+		}
+		s.producers = append(s.producers, p)
 	}
 	s.wg.Add(len(s.shards))
 	for _, w := range s.shards {
@@ -384,6 +450,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	return s, nil
 }
+
+// Producer returns ingest lane i. Each lane must be driven by one
+// goroutine at a time; distinct lanes may run concurrently. Lane 0 is
+// the one the Server-level Ingest/IngestBatch/Replay face delegates
+// to.
+func (s *Server) Producer(i int) *Producer { return s.producers[i] }
+
+// Producers returns the configured lane count.
+func (s *Server) Producers() int { return len(s.producers) }
 
 // Shards returns the configured shard count.
 func (s *Server) Shards() int { return len(s.shards) }
@@ -404,19 +479,26 @@ func (s *Server) runShard(w *shardWorker) {
 		switch m.kind {
 		case msgPacket:
 			d := w.sw.ProcessPacket(m.pkt)
-			s.notifyDecision(w, m.seq, m.pkt, d)
+			s.notifyDecision(w, m.lane, m.seq, m.pkt, d)
 		case msgBatch:
 			b := m.batch
 			w.sw.ProcessBatch(b.pkts[:b.n], b.keys[:b.n], b.folds[:b.n], w.out[:b.n])
 			for i := 0; i < b.n; i++ {
-				s.notifyDecision(w, b.seqs[i], &b.pkts[i], w.out[i])
+				s.notifyDecision(w, b.lane, b.seqs[i], &b.pkts[i], w.out[i])
 			}
 			w.batches++
 			b.n = 0
 			// Recycling never blocks: free's capacity covers the pool.
 			w.free <- b
 		case msgTick:
-			w.sw.SweepTimeouts(m.now)
+			// Racing lanes can deliver an older tick after a newer one
+			// (the election orders tick *times*, not mailbox arrivals);
+			// SweepTimeouts wants a non-decreasing clock, so drop stale
+			// ones.
+			if m.now.After(w.lastSweep) {
+				w.lastSweep = m.now
+				w.sw.SweepTimeouts(m.now)
+			}
 		default:
 			s.handleControl(w, m)
 		}
@@ -431,9 +513,9 @@ func (s *Server) runShard(w *shardWorker) {
 // with a no-op observer.
 //
 //iguard:coldpath observer boundary; the callback's cost belongs to the observer
-func (s *Server) notifyDecision(w *shardWorker, seq uint64, p *netpkt.Packet, d switchsim.Decision) {
+func (s *Server) notifyDecision(w *shardWorker, lane uint32, seq uint64, p *netpkt.Packet, d switchsim.Decision) {
 	if s.cfg.OnDecision != nil {
-		s.cfg.OnDecision(w.id, seq, p, d)
+		s.cfg.OnDecision(w.id, lane, seq, p, d)
 	}
 }
 
@@ -516,163 +598,37 @@ func (s *Server) shardOf(fold uint32) int {
 // batching reports whether batch hand-off is on.
 func (s *Server) batching() bool { return s.cfg.BatchSize > 1 }
 
-// Ingest routes one packet to its flow's shard. It returns (true, nil)
-// when the packet was queued (or, in batch mode, copied into its
-// shard's pending batch — the caller's packet is then immediately
-// reusable), (false, nil) when the Drop policy shed it, and (false,
-// ErrClosed) after Close. In unbatched mode the packet must not be
-// mutated by the caller afterwards. In batch mode under the Drop
-// policy, sheds happen per batch at hand-off and are reported via
-// Stats.QueueDrops, not this return. Producer goroutine only.
+// advanceTrace moves the shared trace clock forward to ns. A
+// monotone-max CAS loop: concurrent lanes race freely, the clock never
+// goes backwards, and a lone lane pays one load plus (at most) one
+// uncontended CAS — the same cost profile as the old single-producer
+// store.
+//
+//iguard:hotpath
+func (s *Server) advanceTrace(ns int64) {
+	for {
+		cur := s.traceNow.Load()
+		if ns <= cur {
+			return
+		}
+		if s.traceNow.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Ingest routes one packet to its flow's shard on lane 0 — see
+// Producer.Ingest for the contract. Lane 0's goroutine only.
 //
 //iguard:hotpath
 func (s *Server) Ingest(p *netpkt.Packet) (bool, error) {
-	if s.closed.Load() {
-		return false, ErrClosed
-	}
-	s.observe(p.Timestamp)
-	key, fold := features.CanonicalFoldOf(p)
-	w := s.shards[s.shardOf(fold)]
-	if s.batching() {
-		s.enqueue(w, p, key, fold)
-		return true, nil
-	}
-	m := shardMsg{kind: msgPacket, pkt: p, seq: s.nextSeq}
-	if s.cfg.Policy == Drop {
-		select {
-		case w.in <- m:
-		default:
-			w.queueDrops.Add(1)
-			s.queueDrops.Add(1)
-			return false, nil
-		}
-	} else {
-		w.in <- m
-	}
-	s.nextSeq++
-	s.ingested.Store(s.nextSeq)
-	return true, nil
+	return s.producers[0].Ingest(p)
 }
 
-// enqueue copies one packet into its shard's pending batch, handing
-// the batch off when it fills. Producer goroutine only.
-//
-//iguard:hotpath
-func (s *Server) enqueue(w *shardWorker, p *netpkt.Packet, key features.FlowKey, fold uint32) {
-	b := w.pending
-	b.pkts[b.n] = *p
-	b.keys[b.n] = key
-	b.folds[b.n] = fold
-	b.seqs[b.n] = s.nextSeq
-	b.n++
-	s.nextSeq++
-	s.ingested.Store(s.nextSeq)
-	if b.n >= s.cfg.BatchSize {
-		s.flushShard(w)
-	}
-}
-
-// flushShard hands the shard's pending batch to the worker as one
-// mailbox operation and takes a recycled buffer as the new pending
-// one. Under the Drop policy a full mailbox sheds the whole batch —
-// the batch analogue of shedding single packets — leaving its
-// sequence numbers as gaps. Producer goroutine only.
-//
-//iguard:hotpath
-func (s *Server) flushShard(w *shardWorker) {
-	b := w.pending
-	if b.n == 0 {
-		return
-	}
-	m := shardMsg{kind: msgBatch, batch: b}
-	if s.cfg.Policy == Drop {
-		select {
-		case w.in <- m:
-		default:
-			w.queueDrops.Add(uint64(b.n))
-			s.queueDrops.Add(uint64(b.n))
-			b.n = 0 // shed in place; the buffer stays pending
-			return
-		}
-	} else {
-		w.in <- m
-	}
-	// Never blocks after a successful hand-off: the pool holds one
-	// more buffer than the mailbox plus the worker can hold.
-	w.pending = <-w.free
-}
-
-// flushPending hands every shard's pending batch off. Producer
-// goroutine only (Swap/Stats/Close call it under the supervisor
-// serialisation contract).
-//
-//iguard:hotpath
-func (s *Server) flushPending() {
-	for _, w := range s.shards {
-		s.flushShard(w)
-	}
-}
-
-// Flush hands any still-pending batched packets to their shards. It
-// is the explicit companion to the BatchFlush deadline: call it when
-// the stream pauses and the pending tail should be decided now
-// (Replay and ReplayBatch call it at end of stream). No-op when
-// batching is off. Producer goroutine only.
+// Flush hands lane 0's still-pending batched packets to their shards —
+// see Producer.Flush. Lane 0's goroutine only.
 func (s *Server) Flush() error {
-	if s.closed.Load() {
-		return ErrClosed
-	}
-	if s.batching() {
-		s.flushPending()
-	}
-	return nil
-}
-
-// observe advances the trace clock, flushes aged partial batches once
-// it moves BatchFlush past the last flush point, and broadcasts sweep
-// ticks when it crosses the SweepEvery cadence. Producer goroutine
-// only.
-//
-//iguard:hotpath
-func (s *Server) observe(ts time.Time) {
-	ns := ts.UnixNano()
-	if s.traceStart.Load() == 0 {
-		s.traceStart.Store(ns)
-		s.traceNow.Store(ns)
-		s.lastTick = ns
-		s.lastFlush = ns
-		return
-	}
-	if ns <= s.traceNow.Load() {
-		return
-	}
-	s.traceNow.Store(ns)
-	if s.batching() && time.Duration(ns-s.lastFlush) >= s.cfg.BatchFlush {
-		// Flush deadline: no packet waits in a partial batch for more
-		// than BatchFlush of trace time once the clock moves on.
-		s.lastFlush = ns
-		s.flushPending()
-	}
-	if s.cfg.SweepEvery <= 0 {
-		return
-	}
-	if time.Duration(ns-s.lastTick) < s.cfg.SweepEvery {
-		return
-	}
-	s.lastTick = ns
-	s.ticks.Add(1)
-	now := time.Unix(0, ns).UTC()
-	// Pending batches go first so every shard sees its packets in the
-	// same order, relative to the tick, as the unbatched path would
-	// deliver them.
-	if s.batching() {
-		s.flushPending()
-	}
-	for _, w := range s.shards {
-		// Ticks are never shed: they carry timeout semantics, and a
-		// full queue only delays (bounded) rather than loses them.
-		w.in <- shardMsg{kind: msgTick, now: now}
-	}
+	return s.producers[0].Flush()
 }
 
 // Swap atomically replaces the whitelist on every shard: each worker
@@ -681,15 +637,15 @@ func (s *Server) observe(ts time.Time) {
 // the swap itself. Flow state and blacklists survive. Swap returns
 // once every shard has applied the new rules (the acks double as a
 // barrier), making "the fleet now serves model X" a simple
-// happens-after. Supervisor goroutine only.
+// happens-after. It is a barrier relative to batches already handed
+// off, not to packets still pending in producer-owned batch buffers
+// (it cannot touch another goroutine's lane) — those flush on their
+// lanes' own BatchSize/BatchFlush cadence and are decided under the
+// new rules. Supervisor goroutine only; safe concurrently with
+// producers.
 func (s *Server) Swap(pl, fl *rules.CompiledRuleSet) error {
 	if s.closed.Load() {
 		return ErrClosed
-	}
-	if s.batching() {
-		// Pending packets were ingested before the swap; hand them off
-		// first so they are decided under the rules they arrived under.
-		s.flushPending()
 	}
 	ack := make(chan ShardStats, len(s.shards))
 	for _, w := range s.shards {
@@ -705,13 +661,13 @@ func (s *Server) Swap(pl, fl *rules.CompiledRuleSet) error {
 // shard — the companion to Swap when the replacement model redefines
 // "malicious" and verdicts issued under the old rules should not keep
 // blocking traffic. Returns the total number of entries removed once
-// every shard has flushed. Supervisor goroutine only.
+// every shard has flushed. Like Swap it is a barrier only relative to
+// batches already handed off; packets pending in producer-owned
+// buffers may re-install entries after it returns. Supervisor
+// goroutine only; safe concurrently with producers.
 func (s *Server) FlushBlacklists() (int, error) {
 	if s.closed.Load() {
 		return 0, ErrClosed
-	}
-	if s.batching() {
-		s.flushPending()
 	}
 	ack := make(chan int, len(s.shards))
 	for _, w := range s.shards {
@@ -796,17 +752,21 @@ func (s *Server) ApplyFlush() (int, error) {
 }
 
 // Close stops the intake, drains every shard queue to completion, and
-// stops the workers. Idempotent. Supervisor goroutine only; after
-// Close, Ingest/Swap return ErrClosed and Stats serves the final
-// snapshot.
+// stops the workers. Idempotent. Supervisor goroutine only, and every
+// producer goroutine must have quiesced first (join them before
+// calling); Close then hands off every lane's pending batches — no
+// buffered packet is ever stranded undecided — and after it returns,
+// Ingest/Swap return ErrClosed and Stats serves the final snapshot.
 func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
 	if s.batching() {
-		// Pending batches drain with everything else: Close never
-		// strands a buffered packet undecided.
-		s.flushPending()
+		// Producers are quiesced (the caller's contract), so their
+		// lane-owned pendings are safe to drain from here.
+		for _, p := range s.producers {
+			p.flushPending()
+		}
 	}
 	// The write lock waits out any applier that saw closed==false and
 	// is still sending; new appliers observe closed==true. Only then
@@ -825,13 +785,12 @@ func (s *Server) Close() error {
 // server each shard answers a stats request through its mailbox (so
 // the snapshot reflects that shard's state at its current queue
 // position); on a closed server the final drained snapshots are
-// served. Supervisor goroutine only.
+// served. Packets still pending in producer-owned batch buffers are
+// counted as ingested but not yet as processed — they flush on their
+// lanes' own cadence, not here (Stats cannot touch another
+// goroutine's lane). Supervisor goroutine only; safe concurrently
+// with producers.
 func (s *Server) Stats() Stats {
-	if s.batching() && !s.closed.Load() {
-		// A stats request is a barrier on each shard's mailbox; hand
-		// pending batches off first so the snapshot covers them.
-		s.flushPending()
-	}
 	per := make([]ShardStats, len(s.shards))
 	if s.drained.Load() {
 		for i, w := range s.shards {
@@ -853,89 +812,22 @@ func (s *Server) Stats() Stats {
 	return s.aggregate(per)
 }
 
-// IngestBatch routes a slice of packets to their shards in one call:
-// the batch analogue of Ingest, and what Replay/ReplayBatch drive. In
-// batch mode every packet is copied into its shard's pending batch, so
-// pkts is immediately reusable on return; on an unbatched server each
-// packet is individually copied and queued, preserving Ingest's
-// semantics (including per-packet Drop-policy sheds, reported in the
-// dropped count). Producer goroutine only.
+// IngestBatch routes a slice of packets to their shards on lane 0 —
+// see Producer.IngestBatch for the contract. Lane 0's goroutine only.
 //
 //iguard:hotpath
 func (s *Server) IngestBatch(pkts []netpkt.Packet) (accepted, dropped uint64, err error) {
-	if s.closed.Load() {
-		return 0, 0, ErrClosed
-	}
-	if s.batching() {
-		for i := range pkts {
-			p := &pkts[i]
-			s.observe(p.Timestamp)
-			key, fold := features.CanonicalFoldOf(p)
-			s.enqueue(s.shards[s.shardOf(fold)], p, key, fold)
-		}
-		return uint64(len(pkts)), 0, nil
-	}
-	for i := range pkts {
-		// The per-packet path sends the pointer itself through the
-		// mailbox, so the packet must outlive the caller's buffer.
-		p := pkts[i]
-		ok, err := s.Ingest(&p)
-		if err != nil {
-			return accepted, dropped, err
-		}
-		if ok {
-			accepted++
-		} else {
-			dropped++
-		}
-	}
-	return accepted, dropped, nil
+	return s.producers[0].IngestBatch(pkts)
 }
 
-// Replay pumps a source into the server until io.EOF, a source error,
-// or context cancellation, returning the accepted and shed counts. It
-// is ReplayBatch over the source's batch face (native when the source
-// implements BatchSource, adapted otherwise). Producer goroutine only.
+// Replay pumps a source into the server on lane 0 — see
+// Producer.Replay. Lane 0's goroutine only.
 func (s *Server) Replay(ctx context.Context, src Source) (accepted, dropped uint64, err error) {
-	return s.ReplayBatch(ctx, AsBatchSource(src))
+	return s.producers[0].Replay(ctx, src)
 }
 
-// replayReadLen is the read-buffer size Replay/ReplayBatch use when
-// the server itself is unbatched (batched servers read BatchSize
-// packets at a time).
-const replayReadLen = 64
-
-// ReplayBatch pumps a batch source into the server until io.EOF, a
-// source or ingest error, or context cancellation, returning the
-// accepted and shed counts. Packets are read up to a batch at a time
-// into one reused buffer — IngestBatch copies them out, so the replay
-// loop allocates nothing per packet on a batched server. At end of
-// stream the pending tail is flushed before returning. Producer
-// goroutine only.
+// ReplayBatch pumps a batch source into the server on lane 0 — see
+// Producer.ReplayBatch. Lane 0's goroutine only.
 func (s *Server) ReplayBatch(ctx context.Context, src BatchSource) (accepted, dropped uint64, err error) {
-	size := s.cfg.BatchSize
-	if size <= 1 {
-		size = replayReadLen
-	}
-	buf := make([]netpkt.Packet, size)
-	for {
-		if err := ctx.Err(); err != nil {
-			return accepted, dropped, err
-		}
-		n, rerr := src.NextBatch(buf)
-		if n > 0 {
-			a, d, ierr := s.IngestBatch(buf[:n])
-			accepted += a
-			dropped += d
-			if ierr != nil {
-				return accepted, dropped, ierr
-			}
-		}
-		if rerr == io.EOF {
-			return accepted, dropped, s.Flush()
-		}
-		if rerr != nil {
-			return accepted, dropped, rerr
-		}
-	}
+	return s.producers[0].ReplayBatch(ctx, src)
 }

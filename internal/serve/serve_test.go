@@ -114,7 +114,7 @@ func newPerFlowRecorder(shards int) *perFlowRecorder {
 	return r
 }
 
-func (r *perFlowRecorder) onDecision(shard int, _ uint64, p *netpkt.Packet, d switchsim.Decision) {
+func (r *perFlowRecorder) onDecision(shard int, _ uint32, _ uint64, p *netpkt.Packet, d switchsim.Decision) {
 	key := features.KeyOf(p).Canonical()
 	r.byShard[shard][key] = append(r.byShard[shard][key],
 		decisionRecord{Path: d.Path, Predicted: d.Predicted, Dropped: d.Dropped})
@@ -376,7 +376,7 @@ func TestDropPolicySheds(t *testing.T) {
 		QueueDepth: depth,
 		Policy:     Drop,
 		NewShard:   testShardFactory(acceptAllFL(), 8, time.Hour),
-		OnDecision: func(int, uint64, *netpkt.Packet, switchsim.Decision) {
+		OnDecision: func(int, uint32, uint64, *netpkt.Packet, switchsim.Decision) {
 			if !opened {
 				opened = true
 				close(first)

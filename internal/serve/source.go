@@ -60,6 +60,11 @@ type PcapSource struct {
 // Next implements Source.
 func (s PcapSource) Next() (netpkt.Packet, error) { return s.R.NextValid() }
 
+// NextBatch implements BatchSource natively via the reader's batch
+// face, so a batched replay reads a batch per call instead of a packet
+// per call.
+func (s PcapSource) NextBatch(buf []netpkt.Packet) (int, error) { return s.R.NextValidBatch(buf) }
+
 // TraceSource replays an in-memory packet slice (e.g. a synthetic
 // traffic.Trace) as a Source.
 type TraceSource struct {

@@ -26,16 +26,27 @@ type ShardStats struct {
 	Batches uint64
 }
 
+// LaneStats is one producer lane's ingest count.
+type LaneStats struct {
+	Lane     uint32
+	Ingested uint64
+}
+
 // Stats is the aggregated server view.
 type Stats struct {
 	// Shards holds the per-worker snapshots, indexed by shard id.
 	Shards []ShardStats
 
-	// Ingested counts packets accepted by Ingest; QueueDrops counts
-	// packets shed by the Drop policy. Packets counts what the shards
-	// have actually processed (≤ Ingested while queues hold backlog).
-	// Batches counts batch hand-offs across shards; Packets/Batches is
-	// the realised mean batch size.
+	// Lanes holds each producer lane's accepted-packet count, indexed
+	// by lane.
+	Lanes []LaneStats
+
+	// Ingested counts packets accepted by Ingest, summed across every
+	// producer lane; QueueDrops counts packets shed by the Drop
+	// policy. Packets counts what the shards have actually processed
+	// (≤ Ingested while queues or producer-side pending batches hold
+	// backlog). Batches counts batch hand-offs across shards;
+	// Packets/Batches is the realised mean batch size.
 	Ingested   uint64
 	QueueDrops uint64
 	Packets    int
@@ -81,9 +92,17 @@ type Stats struct {
 func (s *Server) aggregate(per []ShardStats) Stats {
 	st := Stats{
 		Shards:     per,
-		Ingested:   s.ingested.Load(),
+		Lanes:      make([]LaneStats, len(s.producers)),
 		QueueDrops: s.queueDrops.Load(),
 		Ticks:      s.ticks.Load(),
+	}
+	// Ingested sums the lanes: with multiple producers no single
+	// counter sees every accepted packet, so the aggregate (and the
+	// pps derived from it by callers) must fold all of them.
+	for i, p := range s.producers {
+		n := p.ingested.Load()
+		st.Lanes[i] = LaneStats{Lane: p.lane, Ingested: n}
+		st.Ingested += n
 	}
 	var latWeighted int64
 	for _, p := range per {
@@ -130,6 +149,13 @@ func (st Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "ingested=%d processed=%d queueDrops=%d shards=%d\n",
 		st.Ingested, st.Packets, st.QueueDrops, len(st.Shards))
+	if len(st.Lanes) > 1 {
+		fmt.Fprintf(&b, "lanes:")
+		for _, l := range st.Lanes {
+			fmt.Fprintf(&b, " %d=%d", l.Lane, l.Ingested)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
 	if st.Batches > 0 {
 		fmt.Fprintf(&b, "batches=%d (mean size %.1f)\n", st.Batches, float64(st.Packets)/float64(st.Batches))
 	}

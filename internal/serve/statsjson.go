@@ -58,6 +58,17 @@ func (p ShardStats) MarshalJSON() ([]byte, error) {
 	})
 }
 
+type laneStatsJSON struct {
+	Lane     uint32 `json:"lane"`
+	Ingested uint64 `json:"ingested"`
+}
+
+// MarshalJSON implements json.Marshaler with a stable snake_case
+// encoding.
+func (l LaneStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(laneStatsJSON{Lane: l.Lane, Ingested: l.Ingested})
+}
+
 type statsJSON struct {
 	Ingested       uint64       `json:"ingested"`
 	QueueDrops     uint64       `json:"queue_drops"`
@@ -80,6 +91,7 @@ type statsJSON struct {
 	WallElapsedNS  int64        `json:"wall_elapsed_ns"`
 	PPS            float64      `json:"pps"`
 	AvgLatencyNS   int64        `json:"avg_latency_ns"`
+	Lanes          []LaneStats  `json:"lanes"`
 	Shards         []ShardStats `json:"shards"`
 }
 
@@ -108,6 +120,7 @@ func (st Stats) MarshalJSON() ([]byte, error) {
 		WallElapsedNS:  int64(st.WallElapsed),
 		PPS:            st.PPS,
 		AvgLatencyNS:   int64(st.AvgLatency),
+		Lanes:          st.Lanes,
 		Shards:         st.Shards,
 	})
 }

@@ -41,6 +41,7 @@ func TestStatsJSONStable(t *testing.T) {
 			Swaps:        1,
 			Batches:      50,
 		}},
+		Lanes:          []LaneStats{{Lane: 0, Ingested: 60}, {Lane: 1, Ingested: 45}},
 		Ingested:       105,
 		QueueDrops:     5,
 		Packets:        100,
@@ -72,7 +73,8 @@ func TestStatsJSONStable(t *testing.T) {
 		`"recirculated":9,"hard_collisions":2,"rules_installed":11,"rules_evicted":4,` +
 		`"blacklist_len":9,"active_flows":21,"sweeps":3,"ticks":6,"swaps":1,` +
 		`"trace_elapsed_ns":2000000000,"wall_elapsed_ns":1000000000,"pps":100,` +
-		`"avg_latency_ns":1500,"shards":[` +
+		`"avg_latency_ns":1500,` +
+		`"lanes":[{"lane":0,"ingested":60},{"lane":1,"ingested":45}],"shards":[` +
 		`{"shard":1,"packets":100,"path_counts":[1,2,3,4,5,6],"drops":7,"digests":8,` +
 		`"digest_bytes":88,"recirculated":9,"hard_collisions":2,"sweeps":3,` +
 		`"rules_installed":11,"rules_evicted":4,"rules_removed":2,"storage_cleared":12,` +
